@@ -1,0 +1,277 @@
+//! Plumbing shared by the four baseline engines.
+//!
+//! The unit of admission is a [`Lane`]: one scheduler instance's private
+//! view of memory and its private queue of not-yet-prefilled requests.
+//! Tensor-parallel engines have a single lane; pipeline-parallel engines
+//! have one lane per virtual engine, with requests bound to a lane up
+//! front and KV blocks divided evenly — mirroring vLLM 0.5.x, where each
+//! virtual engine owns `num_gpu_blocks / pp` and requests never migrate
+//! between schedulers. (That static binding is precisely the inter-batch
+//! imbalance TD-Pipe's work stealing repairs.)
+
+use std::collections::VecDeque;
+use tdpipe_core::config::EngineConfig;
+use tdpipe_core::request::RequestPool;
+use tdpipe_kvcache::BlockAllocator;
+
+/// One scheduler instance's memory + admission queue.
+pub struct Lane {
+    /// This lane's KV block pool.
+    pub alloc: BlockAllocator,
+    /// Requests bound to this lane that still need (re-)prefilling.
+    pub pending: VecDeque<usize>,
+    watermark_blocks: u64,
+}
+
+impl Lane {
+    /// A lane owning `blocks` KV blocks and the given pending requests.
+    pub fn new(blocks: u64, block_size: u32, pending: VecDeque<usize>, watermark: f64) -> Self {
+        let alloc = BlockAllocator::new(blocks, block_size);
+        let watermark_blocks = (blocks as f64 * watermark).ceil() as u64;
+        Lane {
+            alloc,
+            pending,
+            watermark_blocks,
+        }
+    }
+}
+
+/// Global per-run state: the request pool plus admission bookkeeping.
+pub struct RunState {
+    /// Request lifecycle tracker.
+    pub pool: RequestPool,
+    /// Admission sequence per request (newest-first eviction order).
+    pub admission_seq: Vec<u64>,
+    next_seq: u64,
+}
+
+impl RunState {
+    /// Initialise for a pool.
+    pub fn new(pool: RequestPool) -> Self {
+        let n = pool.len();
+        RunState {
+            pool,
+            admission_seq: vec![0; n],
+            next_seq: 0,
+        }
+    }
+
+    /// Build `lanes` lanes splitting `total_blocks` evenly and binding the
+    /// pool's requests round-robin (vLLM assigns each arriving request to
+    /// the scheduler with the fewest unfinished requests; for an offline
+    /// all-at-once trace that is round-robin).
+    pub fn make_lanes(&self, lanes: usize, total_blocks: u64, cfg: &EngineConfig) -> Vec<Lane> {
+        assert!(lanes > 0, "need at least one lane");
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
+        for idx in 0..self.pool.len() {
+            queues[idx % lanes].push_back(idx);
+        }
+        let per_lane = total_blocks / lanes as u64;
+        queues
+            .into_iter()
+            .map(|q| Lane::new(per_lane, cfg.block_size, q, cfg.watermark))
+            .collect()
+    }
+
+    /// Whether the head of `lane`'s pending queue fits its memory now
+    /// (respecting the watermark).
+    pub fn head_fits(&self, lane: &Lane) -> bool {
+        match lane.pending.front() {
+            None => false,
+            Some(&idx) => {
+                let t = self.pool.get(idx).prefill_tokens() as u64;
+                let needed = t.div_ceil(lane.alloc.block_size() as u64);
+                lane.alloc.free_blocks() >= needed + lane.watermark_blocks
+            }
+        }
+    }
+
+    /// Admit the head of `lane`'s queue: allocate its KV, mark it
+    /// prefilled, stamp its admission sequence. Returns `(index, tokens)`.
+    ///
+    /// # Panics
+    /// Panics if the head does not fit (callers check [`Self::head_fits`]).
+    pub fn admit_head(&mut self, lane: &mut Lane) -> (usize, u32) {
+        let idx = lane.pending.pop_front().expect("pending nonempty");
+        let t = self.pool.get(idx).prefill_tokens();
+        lane.alloc
+            .allocate(idx as u64, t as u64)
+            .expect("caller checked head_fits");
+        self.pool.note_prefill(idx, t);
+        self.admission_seq[idx] = self.next_seq;
+        self.next_seq += 1;
+        (idx, t)
+    }
+
+    /// Pack a separate-batching prefill batch from `lane`'s queue, up to
+    /// `token_budget` tokens and `max_new` sequences, stopping early when
+    /// memory runs out or the head has not yet arrived by `now`. Returns
+    /// `(pool indices, sequence lengths)`.
+    pub fn pack_prefill_batch(
+        &mut self,
+        lane: &mut Lane,
+        token_budget: u32,
+        max_new: usize,
+        now: f64,
+    ) -> (Vec<usize>, Vec<u32>) {
+        let mut batch = Vec::new();
+        let mut lens = Vec::new();
+        let mut tokens = 0u32;
+        while batch.len() < max_new && self.head_fits(lane) {
+            let head = *lane.pending.front().expect("head fits");
+            if self.pool.get(head).arrival > now {
+                break;
+            }
+            let t = self.pool.get(head).prefill_tokens();
+            if !batch.is_empty() && tokens + t > token_budget {
+                break;
+            }
+            let (idx, t) = self.admit_head(lane);
+            batch.push(idx);
+            lens.push(t);
+            tokens += t;
+        }
+        (batch, lens)
+    }
+
+    /// Post-step bookkeeping for a decode batch living in `lane`: every
+    /// member generated one token — retire the finished (freeing KV),
+    /// extend survivors' KV, and on overflow evict the newest members back
+    /// to the lane's pending queue for recomputation (the §4.1 recompute
+    /// strategy).
+    ///
+    /// Returns the number of requests that finished.
+    pub fn advance_decode(&mut self, lane: &mut Lane, members: &mut Vec<usize>, now: f64) -> usize {
+        let mut finished_now = 0usize;
+        let pool = &mut self.pool;
+        let alloc = &mut lane.alloc;
+        members.retain(|&idx| {
+            if pool.note_decode_step(idx, now) {
+                alloc.free(idx as u64).expect("finished request resident");
+                finished_now += 1;
+                false
+            } else {
+                true
+            }
+        });
+        let mut i = 0;
+        while i < members.len() {
+            let idx = members[i];
+            if lane.alloc.extend(idx as u64, 1).is_ok() {
+                i += 1;
+                continue;
+            }
+            let (pos, &victim) = members
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &m)| self.admission_seq[m])
+                .expect("members nonempty while extend fails");
+            lane.alloc.free(victim as u64).expect("victim resident");
+            self.pool.note_eviction(victim);
+            lane.pending.push_front(victim);
+            members.remove(pos);
+            if pos < i {
+                i -= 1;
+            }
+        }
+        finished_now
+    }
+
+    /// Total pending requests across lanes (deadlock diagnostics).
+    pub fn total_pending(lanes: &[Lane]) -> usize {
+        lanes.iter().map(|l| l.pending.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdpipe_workload::ShareGptLikeConfig;
+
+    fn state(requests: usize) -> RunState {
+        let t = ShareGptLikeConfig::small(requests, 3).generate();
+        RunState::new(RequestPool::new(t.requests(), |r| r.output_len))
+    }
+
+    fn single_lane(st: &RunState, blocks: u64) -> Lane {
+        let mut lanes = st.make_lanes(1, blocks, &EngineConfig::default());
+        lanes.pop().expect("one lane")
+    }
+
+    #[test]
+    fn lanes_split_blocks_and_requests_evenly() {
+        let st = state(10);
+        let lanes = st.make_lanes(4, 1000, &EngineConfig::default());
+        assert_eq!(lanes.len(), 4);
+        assert!(lanes.iter().all(|l| l.alloc.num_blocks() == 250));
+        let sizes: Vec<usize> = lanes.iter().map(|l| l.pending.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // Round-robin binding: lane 0 gets 0, 4, 8.
+        assert_eq!(lanes[0].pending, VecDeque::from(vec![0, 4, 8]));
+    }
+
+    #[test]
+    fn packing_respects_token_budget_and_memory() {
+        let mut st = state(50);
+        let mut lane = single_lane(&st, 100_000);
+        let (batch, lens) = st.pack_prefill_batch(&mut lane, 1024, usize::MAX, 0.0);
+        assert!(!batch.is_empty());
+        let total: u32 = lens.iter().sum();
+        assert!(total <= 2048 || batch.len() == 1);
+        for &idx in &batch {
+            assert!(lane.alloc.contains(idx as u64));
+        }
+    }
+
+    #[test]
+    fn memory_exhaustion_stops_admission() {
+        let mut st = state(50);
+        let mut lane = single_lane(&st, 10); // 160 tokens of KV
+        let (batch, _) = st.pack_prefill_batch(&mut lane, u32::MAX, usize::MAX, 0.0);
+        assert!(batch.len() < 50, "tiny pool cannot admit everything");
+        assert!(!st.head_fits(&lane));
+    }
+
+    #[test]
+    fn advance_decode_retires_and_extends() {
+        let mut st = state(4);
+        let mut lane = single_lane(&st, 100_000);
+        let mut members = Vec::new();
+        for _ in 0..4 {
+            members.push(st.admit_head(&mut lane).0);
+        }
+        let fin = st.advance_decode(&mut lane, &mut members, 1.0);
+        assert_eq!(st.pool.output_tokens, 4);
+        assert_eq!(members.len(), 4 - fin);
+        for &idx in &members {
+            assert_eq!(
+                lane.alloc.tokens_of(idx as u64).unwrap(),
+                st.pool.get(idx).resident_tokens()
+            );
+        }
+        assert_eq!(lane.alloc.num_residents(), members.len());
+    }
+
+    #[test]
+    fn overflow_evicts_newest_to_lane_pending() {
+        let mut st = state(3);
+        let mut lane = single_lane(&st, 64);
+        let mut members = Vec::new();
+        while st.head_fits(&lane) {
+            members.push(st.admit_head(&mut lane).0);
+        }
+        assert!(!members.is_empty());
+        for _ in 0..5000 {
+            if members.is_empty() {
+                break;
+            }
+            st.advance_decode(&mut lane, &mut members, 0.1);
+            if (0..st.pool.len()).any(|i| st.pool.get(i).evictions > 0) {
+                break;
+            }
+        }
+        let any_evicted = (0..st.pool.len()).any(|i| st.pool.get(i).evictions > 0);
+        assert!(any_evicted || members.is_empty());
+        assert!(lane.alloc.used_blocks() <= lane.alloc.num_blocks());
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline schedulers the paper compares TD-Pipe against (§4.1):
+//!
+//! * [`TpSbEngine`] — **TP+SB**: tensor parallelism + separate batching,
+//!   vLLM's default. Every layer pays two all-reduces; prefill batches and
+//!   decode steps never mix. The whole node advances in lockstep, so there
+//!   are no pipeline bubbles — the cost is communication.
+//! * [`TpHbEngine`] — **TP+HB**: tensor parallelism + hybrid batching with
+//!   chunked prefill (Sarathi-style): every iteration carries all resident
+//!   decodes plus prefill chunks up to a token budget.
+//! * [`PpSbEngine`] — **PP+SB**: pipeline parallelism + separate batching:
+//!   `num_stages` scheduler slots (vLLM's virtual engines) each alternate
+//!   prefill and decode jobs that chase each other through the pipeline.
+//!   Prefill/decode imbalance between slots produces the Figure 1 bubbles.
+//! * [`PpHbEngine`] — **PP+HB**: pipeline parallelism + chunked-prefill
+//!   hybrid batching: slots issue token-budgeted hybrid iterations, which
+//!   balances stages better but pays chunked prefill's repeated KV reads.
+//!
+//! All four run on the same cost models, KV allocator, eviction policy and
+//! pipeline simulator as TD-Pipe — the only differences are the scheduling
+//! decisions, exactly like the paper's single-codebase (vLLM) comparison.
+
+pub mod common;
+pub mod pp_hb;
+pub mod pp_sb;
+pub mod tp_hb;
+pub mod tp_sb;
+
+pub use pp_hb::PpHbEngine;
+pub use pp_sb::PpSbEngine;
+pub use tp_hb::TpHbEngine;
+pub use tp_sb::TpSbEngine;

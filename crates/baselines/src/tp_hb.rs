@@ -1,0 +1,231 @@
+//! TP+HB: tensor parallelism with hybrid batching and chunked prefill.
+
+use crate::common::{Lane, RunState};
+use crate::tp_sb::BaselineOutcome;
+use std::collections::VecDeque;
+use tdpipe_core::config::EngineConfig;
+use tdpipe_core::control::ControlPlane;
+use tdpipe_core::cost::TpCost;
+use tdpipe_core::engine::InfeasibleConfig;
+use tdpipe_core::plan::MemoryPlan;
+use tdpipe_core::request::RequestPool;
+use tdpipe_hw::NodeSpec;
+use tdpipe_model::ModelSpec;
+use tdpipe_predictor::OutputLenPredictor;
+use tdpipe_sim::{PipelineSim, RunReport, SegmentKind, TransferMode};
+use tdpipe_workload::Trace;
+
+/// The TP+HB engine.
+///
+/// Sarathi-style scheduling: every iteration executes one hybrid batch —
+/// all resident decode requests (one token each) plus prefill *chunks* up
+/// to the remaining token budget. Chunked prefill re-reads the chunk's
+/// cached prefix from HBM each iteration, and the fused iteration only
+/// partially overlaps prefill compute with decode memory streaming
+/// (`EngineConfig::hybrid_overlap`).
+#[derive(Debug, Clone)]
+pub struct TpHbEngine {
+    cfg: EngineConfig,
+    cost: TpCost,
+    plan: MemoryPlan,
+}
+
+impl TpHbEngine {
+    /// Plan the engine; fails when the weight shard overflows a GPU.
+    pub fn new(
+        model: ModelSpec,
+        node: &NodeSpec,
+        cfg: EngineConfig,
+    ) -> Result<Self, InfeasibleConfig> {
+        let plan = MemoryPlan::tensor(&model, node, cfg.block_size, cfg.mem_reserve_bytes)
+            .ok_or_else(|| InfeasibleConfig {
+                reason: format!(
+                    "{} does not fit {}x{} tensor shards",
+                    model.name, node.num_gpus, node.gpu.name
+                ),
+            })?;
+        Ok(TpHbEngine {
+            cost: TpCost::new(model, node),
+            cfg,
+            plan,
+        })
+    }
+
+    /// Run over a trace (predictor unused; hybrid batching is reactive).
+    pub fn run<P: OutputLenPredictor + ?Sized>(&self, trace: &Trace, _predictor: &P) -> BaselineOutcome {
+        self.run_with_arrivals(trace, &[], _predictor)
+    }
+
+    /// Run with per-request arrival times (empty slice = everything queued
+    /// at t = 0). Chunked-prefill hybrid batching is the latency-friendly
+    /// scheduler, so this is the natural online comparison point for
+    /// TD-Pipe's `run_with_arrivals`.
+    pub fn run_with_arrivals<P: OutputLenPredictor + ?Sized>(
+        &self,
+        trace: &Trace,
+        arrivals: &[f64],
+        _predictor: &P,
+    ) -> BaselineOutcome {
+        assert!(
+            arrivals.is_empty() || arrivals.len() == trace.len(),
+            "one arrival per request"
+        );
+        let pool = RequestPool::with_arrivals(trace.requests(), arrivals, |r| r.output_len);
+        let mut st = RunState::new(pool);
+        let mut lane: Lane = st
+            .make_lanes(1, self.plan.kv_blocks, &self.cfg)
+            .pop()
+            .expect("one lane");
+        let mut sim = PipelineSim::new(1, TransferMode::Async, self.cfg.record_timeline);
+        let mut residents: Vec<usize> = Vec::new();
+        // Admitted requests whose prompt is partially chunked: (idx, done).
+        let mut prefilling: VecDeque<(usize, u32)> = VecDeque::new();
+        let mut ctrl = ControlPlane::new(&self.cfg);
+        let mut now = 0.0f64;
+        let max_seqs = self.cfg.max_num_seqs.unwrap_or(usize::MAX);
+
+        while !st.pool.all_finished() {
+            // Decode part: every resident advances one token.
+            let decode_b = residents.len();
+            let mut budget = self.cfg.chunk_token_budget.saturating_sub(decode_b as u32);
+            // Prefill chunks fill the remaining budget.
+            let mut chunks: Vec<(u32, u32)> = Vec::new();
+            let mut completed: Vec<usize> = Vec::new();
+            while budget > 0 {
+                if prefilling.is_empty() {
+                    let head_arrived = lane
+                        .pending
+                        .front()
+                        .is_some_and(|&i| st.pool.get(i).arrival <= now);
+                    if head_arrived
+                        && residents.len() + completed.len() < max_seqs
+                        && st.head_fits(&lane)
+                    {
+                        let (idx, _) = st.admit_head(&mut lane);
+                        prefilling.push_back((idx, 0));
+                    } else {
+                        break;
+                    }
+                }
+                let (idx, done) = *prefilling.front().expect("nonempty");
+                let total = st.pool.get(idx).prefill_tokens();
+                let c = (total - done).min(budget);
+                chunks.push((c, done));
+                budget -= c;
+                if done + c == total {
+                    prefilling.pop_front();
+                    completed.push(idx);
+                } else {
+                    prefilling.front_mut().expect("nonempty").1 = done + c;
+                }
+            }
+
+            if decode_b == 0 && chunks.is_empty() {
+                let idx = *lane.pending.front().expect("unfinished implies pending");
+                let arrival = st.pool.get(idx).arrival;
+                if arrival > now {
+                    // Online idle: wait for the next request.
+                    now = arrival;
+                    continue;
+                }
+                panic!(
+                    "request {} ({} tokens) exceeds KV capacity ({} tokens)",
+                    st.pool.get(idx).id,
+                    st.pool.get(idx).prefill_tokens(),
+                    self.plan.token_capacity()
+                );
+            }
+
+            let ctx: u64 = residents
+                .iter()
+                .map(|&i| st.pool.get(i).resident_tokens())
+                .sum();
+            let t = self.cost.hybrid_time(
+                decode_b,
+                ctx,
+                &chunks,
+                completed.len(),
+                self.cfg.hybrid_overlap,
+            );
+            let kind = if decode_b > 0 && !chunks.is_empty() {
+                SegmentKind::Hybrid
+            } else if decode_b > 0 {
+                SegmentKind::Decode
+            } else {
+                SegmentKind::Prefill
+            };
+            let timing = sim.launch_monolithic(now, t, kind, 0);
+            now = ctrl.process(timing.finish, decode_b + chunks.len());
+
+            st.advance_decode(&mut lane, &mut residents, timing.finish);
+            for &idx in &completed {
+                st.pool.note_first_token(idx, timing.finish);
+            }
+            residents.extend(completed);
+        }
+
+        st.pool.assert_conserved();
+        let makespan = sim.drained_at();
+        let timeline = sim.into_timeline();
+        BaselineOutcome {
+            report: RunReport {
+                scheduler: "TP+HB".into(),
+                makespan,
+                num_requests: st.pool.len(),
+                input_tokens: st.pool.input_tokens,
+                output_tokens: st.pool.output_tokens,
+                recomputed_tokens: st.pool.recomputed_tokens,
+                swapped_tokens: st.pool.swapped_tokens,
+                phase_switches: 0,
+                mean_utilization: timeline.mean_utilization(),
+                latency: st.pool.latency_summary(),
+            },
+            timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdpipe_predictor::OraclePredictor;
+    use tdpipe_workload::ShareGptLikeConfig;
+
+    #[test]
+    fn completes_and_conserves() {
+        let t = ShareGptLikeConfig::small(64, 9).generate();
+        let e = TpHbEngine::new(
+            ModelSpec::llama2_13b(),
+            &NodeSpec::l20(4),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let out = e.run(&t, &OraclePredictor);
+        assert_eq!(out.report.num_requests, 64);
+        assert_eq!(out.report.scheduler, "TP+HB");
+    }
+
+    #[test]
+    fn chunking_tracks_prefill_progress() {
+        // Tighter chunk budgets mean more iterations per prompt and more
+        // prefix re-reads, so makespan must not improve.
+        let t = ShareGptLikeConfig::small(40, 11).generate();
+        let small = EngineConfig {
+            chunk_token_budget: 256,
+            ..EngineConfig::default()
+        };
+        let big = EngineConfig {
+            chunk_token_budget: 8192,
+            ..EngineConfig::default()
+        };
+        let model = ModelSpec::llama2_13b();
+        let node = NodeSpec::l20(2);
+        let a = TpHbEngine::new(model.clone(), &node, small)
+            .unwrap()
+            .run(&t, &OraclePredictor);
+        let b = TpHbEngine::new(model, &node, big)
+            .unwrap()
+            .run(&t, &OraclePredictor);
+        assert!(a.report.makespan > b.report.makespan * 0.8);
+    }
+}

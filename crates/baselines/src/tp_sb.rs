@@ -1,0 +1,225 @@
+//! TP+SB: tensor parallelism with separate batching (vLLM's default).
+
+use crate::common::{Lane, RunState};
+use tdpipe_core::config::EngineConfig;
+use tdpipe_core::control::ControlPlane;
+use tdpipe_core::cost::TpCost;
+use tdpipe_core::engine::InfeasibleConfig;
+use tdpipe_core::plan::MemoryPlan;
+use tdpipe_core::request::RequestPool;
+use tdpipe_hw::NodeSpec;
+use tdpipe_model::ModelSpec;
+use tdpipe_predictor::OutputLenPredictor;
+use tdpipe_sim::{PipelineSim, RunReport, SegmentKind, Timeline, TransferMode};
+use tdpipe_workload::Trace;
+
+/// Result of a baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Aggregate metrics.
+    pub report: RunReport,
+    /// Device activity (single lock-step device for TP layouts).
+    pub timeline: Timeline,
+}
+
+/// The TP+SB engine.
+///
+/// The node behaves as one serial resource (all GPUs advance in lockstep
+/// through all-reduces). Scheduling follows vLLM 0.5.x continuous batching
+/// with separate batching: whenever waiting requests fit in memory, run a
+/// prefill-only batch; otherwise run one decode step over every resident
+/// request.
+#[derive(Debug, Clone)]
+pub struct TpSbEngine {
+    cfg: EngineConfig,
+    cost: TpCost,
+    plan: MemoryPlan,
+}
+
+impl TpSbEngine {
+    /// Plan the engine; fails when the weight shard overflows a GPU.
+    pub fn new(
+        model: ModelSpec,
+        node: &NodeSpec,
+        cfg: EngineConfig,
+    ) -> Result<Self, InfeasibleConfig> {
+        let plan = MemoryPlan::tensor(&model, node, cfg.block_size, cfg.mem_reserve_bytes)
+            .ok_or_else(|| InfeasibleConfig {
+                reason: format!(
+                    "{} does not fit {}x{} tensor shards",
+                    model.name, node.num_gpus, node.gpu.name
+                ),
+            })?;
+        Ok(TpSbEngine {
+            cost: TpCost::new(model, node),
+            cfg,
+            plan,
+        })
+    }
+
+    /// The planned KV pool.
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
+    /// Run over a trace. The predictor is unused (separate batching needs
+    /// no length estimates) but accepted for interface uniformity.
+    pub fn run<P: OutputLenPredictor + ?Sized>(&self, trace: &Trace, _predictor: &P) -> BaselineOutcome {
+        self.run_with_arrivals(trace, &[], _predictor)
+    }
+
+    /// Run with per-request arrival times (empty slice = all at t = 0).
+    pub fn run_with_arrivals<P: OutputLenPredictor + ?Sized>(
+        &self,
+        trace: &Trace,
+        arrivals: &[f64],
+        _predictor: &P,
+    ) -> BaselineOutcome {
+        assert!(
+            arrivals.is_empty() || arrivals.len() == trace.len(),
+            "one arrival per request"
+        );
+        let pool = RequestPool::with_arrivals(trace.requests(), arrivals, |r| r.output_len);
+        let mut st = RunState::new(pool);
+        let mut lane: Lane = st
+            .make_lanes(1, self.plan.kv_blocks, &self.cfg)
+            .pop()
+            .expect("one lane");
+        let mut sim = PipelineSim::new(1, TransferMode::Async, self.cfg.record_timeline);
+        let mut residents: Vec<usize> = Vec::new();
+        let mut ctrl = ControlPlane::new(&self.cfg);
+        let mut now = 0.0f64;
+        let max_seqs = self.cfg.max_num_seqs.unwrap_or(usize::MAX);
+
+        while !st.pool.all_finished() {
+            let head_arrived = lane
+                .pending
+                .front()
+                .is_some_and(|&i| st.pool.get(i).arrival <= now);
+            if head_arrived && residents.len() < max_seqs && st.head_fits(&lane) {
+                // Prefill priority (vLLM separate batching).
+                let (batch, lens) = st.pack_prefill_batch(
+                    &mut lane,
+                    self.cfg.prefill_token_budget,
+                    max_seqs - residents.len(),
+                    now,
+                );
+                debug_assert!(!batch.is_empty());
+                let t = self.cost.prefill_time(&lens);
+                let timing = sim.launch_monolithic(now, t, SegmentKind::Prefill, 0);
+                for &idx in &batch {
+                    st.pool.note_first_token(idx, timing.finish);
+                }
+                now = ctrl.process(timing.finish, batch.len());
+                residents.extend(batch);
+            } else if !residents.is_empty() {
+                let ctx: u64 = residents
+                    .iter()
+                    .map(|&i| st.pool.get(i).resident_tokens())
+                    .sum();
+                let t = self.cost.decode_time(residents.len(), ctx);
+                let timing = sim.launch_monolithic(now, t, SegmentKind::Decode, 1);
+                now = ctrl.process(timing.finish, residents.len());
+                st.advance_decode(&mut lane, &mut residents, timing.finish);
+            } else {
+                let idx = *lane.pending.front().expect("unfinished implies pending");
+                if st.pool.get(idx).arrival > now {
+                    // Online idle: wait for the next request.
+                    now = st.pool.get(idx).arrival;
+                    continue;
+                }
+                panic!(
+                    "request {} ({} tokens) exceeds KV capacity ({} tokens)",
+                    st.pool.get(idx).id,
+                    st.pool.get(idx).prefill_tokens(),
+                    self.plan.token_capacity()
+                );
+            }
+        }
+
+        st.pool.assert_conserved();
+        let makespan = sim.drained_at();
+        let timeline = sim.into_timeline();
+        BaselineOutcome {
+            report: RunReport {
+                scheduler: "TP+SB".into(),
+                makespan,
+                num_requests: st.pool.len(),
+                input_tokens: st.pool.input_tokens,
+                output_tokens: st.pool.output_tokens,
+                recomputed_tokens: st.pool.recomputed_tokens,
+                swapped_tokens: st.pool.swapped_tokens,
+                phase_switches: 0,
+                mean_utilization: timeline.mean_utilization(),
+                latency: st.pool.latency_summary(),
+            },
+            timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdpipe_predictor::OraclePredictor;
+    use tdpipe_workload::ShareGptLikeConfig;
+
+    #[test]
+    fn completes_and_conserves() {
+        let t = ShareGptLikeConfig::small(64, 9).generate();
+        let e = TpSbEngine::new(
+            ModelSpec::llama2_13b(),
+            &NodeSpec::l20(4),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let out = e.run(&t, &OraclePredictor);
+        assert_eq!(out.report.num_requests, 64);
+        assert!(out.report.throughput_total() > 0.0);
+    }
+
+    #[test]
+    fn infeasible_shard_rejected() {
+        let err = TpSbEngine::new(
+            ModelSpec::llama2_70b(),
+            &NodeSpec::a100(1),
+            EngineConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.reason.contains("tensor"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = ShareGptLikeConfig::small(100, 5).generate();
+        let e = TpSbEngine::new(
+            ModelSpec::llama2_13b(),
+            &NodeSpec::l20(2),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            e.run(&t, &OraclePredictor).report,
+            e.run(&t, &OraclePredictor).report
+        );
+    }
+
+    #[test]
+    fn seq_cap_binds_batch_size() {
+        // With a small max_num_seqs the run takes longer than unbounded.
+        let t = ShareGptLikeConfig::small(300, 7).generate();
+        let node = NodeSpec::a100(4);
+        let model = ModelSpec::llama2_13b();
+        let capped = EngineConfig {
+            max_num_seqs: Some(32),
+            ..EngineConfig::default()
+        };
+        let a = TpSbEngine::new(model.clone(), &node, capped)
+            .unwrap()
+            .run(&t, &OraclePredictor);
+        let b = TpSbEngine::new(model, &node, EngineConfig::default())
+            .unwrap()
+            .run(&t, &OraclePredictor);
+        assert!(a.report.makespan > b.report.makespan);
+    }
+}

@@ -1,0 +1,37 @@
+//! Microbenchmarks of the roofline cost model: these functions price every
+//! job the schedulers launch, so they sit on the simulator's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdpipe_hw::{GpuSpec, KernelModel};
+use tdpipe_model::ModelSpec;
+
+fn bench_kernel_model(c: &mut Criterion) {
+    let k = KernelModel::calibrated(GpuSpec::l20());
+    let m = ModelSpec::llama2_13b();
+    let prefill_lens: Vec<u32> = (0..16).map(|i| 128 + i * 64).collect();
+
+    c.bench_function("prefill_layer_work_16seqs", |b| {
+        b.iter(|| m.prefill_layer_work(black_box(&prefill_lens)))
+    });
+
+    c.bench_function("decode_layer_work", |b| {
+        b.iter(|| m.decode_layer_work(black_box(256), black_box(256 * 300)))
+    });
+
+    let w = m.decode_layer_work(256, 256 * 300);
+    c.bench_function("roofline_layer_time", |b| {
+        b.iter(|| k.layer_time(black_box(&w)))
+    });
+
+    c.bench_function("roofline_layer_time_tp4", |b| {
+        b.iter(|| k.layer_time_tp(black_box(&w), black_box(4)))
+    });
+
+    c.bench_function("stage_time_with_extras", |b| {
+        let head = m.lm_head_work(256);
+        b.iter(|| k.stage_time(black_box(&w), black_box(10), black_box(&[head])))
+    });
+}
+
+criterion_group!(benches, bench_kernel_model);
+criterion_main!(benches);

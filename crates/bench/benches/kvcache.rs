@@ -1,0 +1,65 @@
+//! Microbenchmarks of the paged KV-cache allocator: every decode step of
+//! every engine calls `extend` once per request.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tdpipe_kvcache::BlockAllocator;
+
+fn resident_pool(n: u64) -> BlockAllocator {
+    let mut a = BlockAllocator::new(1_000_000, 16);
+    for id in 0..n {
+        a.allocate(id, 300).unwrap();
+    }
+    a
+}
+
+fn bench_kvcache(c: &mut Criterion) {
+    c.bench_function("allocate_free_cycle", |b| {
+        let mut a = BlockAllocator::new(100_000, 16);
+        let mut id = 0u64;
+        b.iter(|| {
+            a.allocate(id, 300).unwrap();
+            a.free(id).unwrap();
+            id += 1;
+        })
+    });
+
+    c.bench_function("extend_resident_256", |b| {
+        // Fresh allocator per batch: extends accumulate tokens, so a
+        // single shared pool would eventually overflow across criterion's
+        // iterations.
+        b.iter_batched_ref(
+            || resident_pool(256),
+            |a| {
+                for id in 0..256u64 {
+                    a.extend(black_box(id), 1).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("occupancy_query", |b| {
+        let mut a = BlockAllocator::new(100_000, 16);
+        for id in 0..512u64 {
+            a.allocate(id, 250).unwrap();
+        }
+        b.iter(|| black_box(a.occupancy()))
+    });
+
+    c.bench_function("decode_step_bookkeeping_512", |b| {
+        // The full per-step pattern: occupancy check + extend everyone.
+        b.iter_batched_ref(
+            || resident_pool(512),
+            |a| {
+                let _ = black_box(a.free_blocks());
+                for id in 0..512u64 {
+                    a.extend(id, 1).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_kvcache);
+criterion_main!(benches);

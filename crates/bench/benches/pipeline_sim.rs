@@ -1,0 +1,67 @@
+//! Microbenchmarks of the deterministic pipeline simulator and the
+//! threaded hierarchy-controller runtime it models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdpipe_runtime::{Cluster, JobSpec};
+use tdpipe_sim::{EventQueue, PipelineSim, SegmentKind, TransferMode};
+
+fn bench_sim(c: &mut Criterion) {
+    c.bench_function("pipeline_launch_4stage", |b| {
+        let mut sim = PipelineSim::new(4, TransferMode::Async, false);
+        let exec = [0.01, 0.01, 0.01, 0.012];
+        let xfer = [0.001; 3];
+        let mut tag = 0u64;
+        b.iter(|| {
+            tag += 1;
+            black_box(sim.launch(0.0, &exec, &xfer, SegmentKind::Decode, tag))
+        })
+    });
+
+    c.bench_function("pipeline_launch_rendezvous", |b| {
+        let mut sim = PipelineSim::new(4, TransferMode::Rendezvous, false);
+        let exec = [0.01, 0.01, 0.01, 0.012];
+        let xfer = [0.001; 3];
+        let mut tag = 0u64;
+        b.iter(|| {
+            tag += 1;
+            black_box(sim.launch(0.0, &exec, &xfer, SegmentKind::Decode, tag))
+        })
+    });
+
+    c.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..1000 {
+            q.push(i as f64, i);
+        }
+        let mut t = 1000.0;
+        b.iter(|| {
+            t += 1.0;
+            q.push(t, 0);
+            black_box(q.pop())
+        })
+    });
+
+    // Real threads: 1000 jobs through the 4-worker hierarchy-controller
+    // (measures channel + virtual-clock overhead per job).
+    c.bench_function("threaded_cluster_1000_jobs", |b| {
+        b.iter(|| {
+            let cluster = Cluster::spawn(4, TransferMode::Async);
+            for id in 0..1000u64 {
+                cluster.launch(JobSpec {
+                    id,
+                    ready: 0.0,
+                    exec: vec![0.01; 4],
+                    xfer: vec![0.001; 3],
+                    kind: SegmentKind::Decode,
+                });
+            }
+            for _ in 0..1000 {
+                cluster.completions().recv().unwrap();
+            }
+            cluster.shutdown()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

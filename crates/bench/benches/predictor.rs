@@ -1,0 +1,46 @@
+//! Predictor benchmarks: training cost and — the quantity the paper's
+//! §4.4.1 measures — per-request inference cost, which must stay a
+//! negligible fraction of end-to-end run time.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tdpipe_predictor::classifier::TrainConfig;
+use tdpipe_predictor::{LengthPredictor, OutputLenPredictor};
+use tdpipe_workload::ShareGptLikeConfig;
+
+fn bench_predictor(c: &mut Criterion) {
+    let data = ShareGptLikeConfig::small(8_000, 5).generate();
+    let splits = data.split(5);
+    let quick = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
+
+    c.bench_function("train_4800_samples_2_epochs", |b| {
+        b.iter_batched(
+            || splits.train.clone(),
+            |train| LengthPredictor::train(black_box(&train), &quick),
+            BatchSize::PerIteration,
+        )
+    });
+
+    let p = LengthPredictor::train(&splits.train, &quick);
+    let reqs = splits.test.requests();
+    c.bench_function("predict_one_request", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % reqs.len();
+            black_box(p.predict(&reqs[i]))
+        })
+    });
+
+    c.bench_function("predict_bucket_argmax", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % reqs.len();
+            black_box(p.predict_bucket(&reqs[i]))
+        })
+    });
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

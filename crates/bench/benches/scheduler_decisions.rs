@@ -1,0 +1,78 @@
+//! Microbenchmarks of TD-Pipe's three decision mechanisms — the paper
+//! argues they are cheap enough to run per scheduling iteration; these
+//! benches quantify that for our implementation.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tdpipe_core::greedy::GreedyPrefillPlanner;
+use tdpipe_core::intensity::{IntensityComparator, PrefillPhaseEstimate};
+use tdpipe_core::request::{Lifecycle, RequestState};
+use tdpipe_core::steal::WorkStealer;
+use tdpipe_hw::{DecodeProfile, GpuSpec, KernelModel};
+use tdpipe_model::ModelSpec;
+use tdpipe_workload::RequestId;
+
+fn req(input: u32, predicted: u32) -> RequestState {
+    RequestState {
+        id: RequestId(0),
+        input_len: input,
+        output_len: predicted,
+        predicted,
+        generated: 0,
+        lifecycle: Lifecycle::Decoding,
+        evictions: 0,
+        swapped: false,
+        arrival: 0.0,
+        first_token_at: f64::NAN,
+        finished_at: f64::NAN,
+    }
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    // Algorithm 1: UpdateUsage + CheckSwitch for one admitted request.
+    c.bench_function("greedy_update_and_check", |b| {
+        let points: Vec<u32> = (1..=32).map(|i| i * 32).collect();
+        let mut planner = GreedyPrefillPlanner::new(points, 500_000);
+        let r = req(300, 250);
+        b.iter(|| {
+            planner.add_request(black_box(&r));
+            black_box(planner.would_overflow())
+        })
+    });
+
+    // Work stealing: one batch return with rebalancing. Fresh state per
+    // batch — repeated returns would otherwise grow the withheld pool
+    // without bound across criterion's iterations.
+    c.bench_function("steal_on_batch_return_256", |b| {
+        b.iter_batched(
+            || {
+                (
+                    WorkStealer::new(&[256, 256, 256, 256]),
+                    (0..256).collect::<Vec<usize>>(),
+                )
+            },
+            |(mut stealer, mut members)| {
+                stealer.on_batch_return(black_box(&mut members), 2);
+                (stealer, members)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Spatial-temporal comparison: one switch decision.
+    let k = KernelModel::calibrated(GpuSpec::l20());
+    let m = ModelSpec::llama2_13b();
+    let profile = DecodeProfile::build(512, |bch| {
+        k.stage_time(&m.decode_layer_work(bch, bch as u64 * 300), m.layers, &[])
+    });
+    let cmp = IntensityComparator::new(profile);
+    c.bench_function("intensity_should_switch", |b| {
+        let est = PrefillPhaseEstimate {
+            longest_job: 1.5,
+            phase_len: 12.0,
+        };
+        b.iter(|| cmp.should_switch(black_box(180), black_box(&est), black_box(0.04)))
+    });
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerate paper Tables 1 and 2: GPU configurations and model
+//! specifications, as this reproduction encodes them.
+
+use tdpipe_hw::{GpuSpec, Interconnect};
+use tdpipe_model::ModelSpec;
+
+fn main() {
+    println!("Table 1: GPU Configurations");
+    println!(
+        "{:<8} {:>16} {:>12} {:>8} {:>12}",
+        "Device", "FP16 Tensor Core", "Bandwidth", "Memory", "AllReduce"
+    );
+    for (gpu, ic) in [
+        (GpuSpec::l20(), Interconnect::pcie_l20_node()),
+        (GpuSpec::a100(), Interconnect::pcie_a100_node()),
+    ] {
+        println!(
+            "{:<8} {:>10.1} TFLOPS {:>8.0} GB/s {:>5.0} GB {:>8.2} GB/s",
+            gpu.name,
+            gpu.fp16_flops / 1e12,
+            gpu.mem_bw / 1e9,
+            gpu.mem_bytes as f64 / (1u64 << 30) as f64,
+            ic.allreduce_bw / 1e9,
+        );
+    }
+
+    println!();
+    println!("Table 2: Model Specifications");
+    println!(
+        "{:<22} {:>10} {:>7} {:>6} {:>12} {:>6}",
+        "Name", "Parameters", "Layers", "Heads", "Hidden Size", "Prec."
+    );
+    for m in [
+        ModelSpec::llama2_13b(),
+        ModelSpec::qwen2_5_32b(),
+        ModelSpec::llama2_70b(),
+    ] {
+        println!(
+            "{:<22} {:>8.0}GB {:>7} {:>6} {:>12} {:>6}",
+            m.name,
+            m.weight_bytes() as f64 / 1e9,
+            m.layers,
+            m.heads,
+            m.hidden,
+            m.precision,
+        );
+    }
+    println!();
+    println!("Derived quantities the schedulers rely on:");
+    for m in [
+        ModelSpec::llama2_13b(),
+        ModelSpec::qwen2_5_32b(),
+        ModelSpec::llama2_70b(),
+    ] {
+        println!(
+            "  {:<22} {:>6.2}B params, KV/token {:>8.3} MB (GQA {}/{} heads)",
+            m.name,
+            m.total_params() as f64 / 1e9,
+            m.kv_bytes_per_token() as f64 / 1e6,
+            m.kv_heads,
+            m.heads,
+        );
+    }
+}

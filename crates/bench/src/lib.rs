@@ -1,0 +1,242 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one of the paper's tables or
+//! figures (see DESIGN.md §4 for the index). This library holds the pieces
+//! they share: the standard 5,000-request ShareGPT-like workload, the four
+//! node/model combinations, a scheduler dispatch wrapper, and small
+//! plumbing for emitting results as aligned text and JSON.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use tdpipe_baselines::{PpHbEngine, PpSbEngine, TpHbEngine, TpSbEngine};
+use tdpipe_core::config::EngineConfig;
+use tdpipe_core::engine::RunOutcome;
+use tdpipe_core::{TdPipeConfig, TdPipeEngine};
+use tdpipe_hw::NodeSpec;
+use tdpipe_model::ModelSpec;
+use tdpipe_predictor::OutputLenPredictor;
+use tdpipe_sim::RunReport;
+use tdpipe_workload::{ShareGptLikeConfig, Trace};
+
+/// Seed used for every headline experiment (determinism across binaries).
+pub const PAPER_SEED: u64 = 42;
+
+/// The paper's request count (§4.1: "randomly sample 5,000 input
+/// sentences"). Override with the `TDPIPE_REQUESTS` environment variable
+/// for quick runs.
+pub fn num_requests() -> usize {
+    std::env::var("TDPIPE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000)
+}
+
+/// The standard benchmark workload.
+pub fn paper_trace() -> Trace {
+    ShareGptLikeConfig::small(num_requests(), PAPER_SEED).generate()
+}
+
+/// One Figure 11 combination: label, model, and node constructor.
+pub type Combo = (&'static str, ModelSpec, fn(u32) -> NodeSpec);
+
+/// The four node/model combinations of Figure 11.
+pub fn paper_combos() -> Vec<Combo> {
+    vec![
+        (
+            "L20+13B",
+            ModelSpec::llama2_13b(),
+            NodeSpec::l20 as fn(u32) -> NodeSpec,
+        ),
+        ("L20+32B", ModelSpec::qwen2_5_32b(), NodeSpec::l20),
+        ("A100+32B", ModelSpec::qwen2_5_32b(), NodeSpec::a100),
+        ("A100+70B", ModelSpec::llama2_70b(), NodeSpec::a100),
+    ]
+}
+
+/// The five schedulers of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scheduler {
+    /// Tensor parallel + separate batching.
+    TpSb,
+    /// Tensor parallel + hybrid batching (chunked prefill).
+    TpHb,
+    /// Pipeline parallel + separate batching.
+    PpSb,
+    /// Pipeline parallel + hybrid batching (chunked prefill).
+    PpHb,
+    /// This paper's system.
+    TdPipe,
+}
+
+impl Scheduler {
+    /// All five, in the paper's presentation order.
+    pub const ALL: [Scheduler; 5] = [
+        Scheduler::TpSb,
+        Scheduler::TpHb,
+        Scheduler::PpSb,
+        Scheduler::PpHb,
+        Scheduler::TdPipe,
+    ];
+
+    /// Display name matching the paper.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Scheduler::TpSb => "TP+SB",
+            Scheduler::TpHb => "TP+HB",
+            Scheduler::PpSb => "PP+SB",
+            Scheduler::PpHb => "PP+HB",
+            Scheduler::TdPipe => "TD-Pipe",
+        }
+    }
+}
+
+/// Run one scheduler on one configuration. Returns `None` when the model
+/// does not fit the node in the scheduler's layout.
+pub fn run_scheduler<P: OutputLenPredictor + ?Sized>(
+    which: Scheduler,
+    model: &ModelSpec,
+    node: &NodeSpec,
+    trace: &Trace,
+    predictor: &P,
+) -> Option<RunReport> {
+    let cfg = EngineConfig::default();
+    match which {
+        Scheduler::TpSb => TpSbEngine::new(model.clone(), node, cfg)
+            .ok()
+            .map(|e| e.run(trace, predictor).report),
+        Scheduler::TpHb => TpHbEngine::new(model.clone(), node, cfg)
+            .ok()
+            .map(|e| e.run(trace, predictor).report),
+        Scheduler::PpSb => PpSbEngine::new(model.clone(), node, cfg)
+            .ok()
+            .map(|e| e.run(trace, predictor).report),
+        Scheduler::PpHb => PpHbEngine::new(model.clone(), node, cfg)
+            .ok()
+            .map(|e| e.run(trace, predictor).report),
+        Scheduler::TdPipe => run_tdpipe(model, node, trace, predictor, TdPipeConfig::default())
+            .map(|o| o.report),
+    }
+}
+
+/// Run TD-Pipe with an explicit configuration (ablations).
+pub fn run_tdpipe<P: OutputLenPredictor + ?Sized>(
+    model: &ModelSpec,
+    node: &NodeSpec,
+    trace: &Trace,
+    predictor: &P,
+    cfg: TdPipeConfig,
+) -> Option<RunOutcome> {
+    TdPipeEngine::new(model.clone(), node, cfg)
+        .ok()
+        .map(|e| e.run(trace, predictor))
+}
+
+/// Run many `(scheduler, model, node)` cells in parallel with scoped
+/// threads. Each cell is an independent deterministic simulation, so the
+/// results are identical to a serial sweep — only the wall time shrinks.
+/// Results come back in input order.
+pub fn run_cells_parallel<P: OutputLenPredictor + Sync + ?Sized>(
+    cells: &[(Scheduler, ModelSpec, NodeSpec)],
+    trace: &Trace,
+    predictor: &P,
+) -> Vec<Option<RunReport>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cells.len().max(1));
+    let mut results: Vec<Option<RunReport>> = vec![None; cells.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<RunReport>>> =
+        (0..cells.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let (s, model, node) = &cells[i];
+                let r = run_scheduler(*s, model, node, trace, predictor);
+                *slots[i].lock().expect("slot") = r;
+            });
+        }
+    });
+    for (out, slot) in results.iter_mut().zip(slots) {
+        *out = slot.into_inner().expect("slot");
+    }
+    results
+}
+
+/// Directory the binaries drop machine-readable results into.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("TDPIPE_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Persist a JSON result document.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(name);
+    let file = std::fs::File::create(&path).expect("create result file");
+    serde_json::to_writer_pretty(file, value).expect("serialise result");
+    println!("[saved {}]", path.display());
+}
+
+/// Persist a text/CSV artifact.
+pub fn save_text(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("write result file");
+    println!("[saved {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdpipe_predictor::OraclePredictor;
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(Scheduler::TdPipe.name(), "TD-Pipe");
+        assert_eq!(Scheduler::ALL.len(), 5);
+    }
+
+    #[test]
+    fn dispatch_runs_every_scheduler_on_a_tiny_trace() {
+        let trace = ShareGptLikeConfig::small(24, 1).generate();
+        let model = ModelSpec::llama2_13b();
+        let node = NodeSpec::l20(2);
+        for s in Scheduler::ALL {
+            let r = run_scheduler(s, &model, &node, &trace, &OraclePredictor)
+                .expect("13B fits 2xL20");
+            assert_eq!(r.num_requests, 24, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let trace = ShareGptLikeConfig::small(40, 2).generate();
+        let cells: Vec<(Scheduler, ModelSpec, NodeSpec)> = Scheduler::ALL
+            .into_iter()
+            .map(|s| (s, ModelSpec::llama2_13b(), NodeSpec::l20(2)))
+            .collect();
+        let par = run_cells_parallel(&cells, &trace, &OraclePredictor);
+        for ((s, m, n), got) in cells.iter().zip(&par) {
+            let serial = run_scheduler(*s, m, n, &trace, &OraclePredictor);
+            assert_eq!(got.as_ref().map(|r| r.makespan), serial.map(|r| r.makespan));
+        }
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let trace = ShareGptLikeConfig::small(4, 1).generate();
+        let r = run_scheduler(
+            Scheduler::TdPipe,
+            &ModelSpec::llama2_70b(),
+            &NodeSpec::l20(1),
+            &trace,
+            &OraclePredictor,
+        );
+        assert!(r.is_none());
+    }
+}

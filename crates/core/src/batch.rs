@@ -1,0 +1,114 @@
+//! Decode batches: the unit the decode phase pipelines.
+
+use crate::request::RequestPool;
+
+/// A decode batch: a set of resident requests that step together. With `n`
+/// pipeline stages the engine keeps `n` batches in flight so every stage
+/// has work (paper §3.4: "we divide the requests into batches equal to the
+/// number of GPUs").
+#[derive(Debug, Clone, Default)]
+pub struct DecodeBatch {
+    /// Pool indices of member requests.
+    pub members: Vec<usize>,
+}
+
+impl DecodeBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Batch size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the batch has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Total context tokens (KV the next step must read).
+    pub fn total_ctx(&self, pool: &RequestPool) -> u64 {
+        self.members
+            .iter()
+            .map(|&i| pool.get(i).resident_tokens())
+            .sum()
+    }
+}
+
+/// Partition `members` into `n` batches as evenly as possible, preserving
+/// order (round-robin would interleave admission order; contiguous chunks
+/// keep each batch's requests age-adjacent, which makes the newest-first
+/// eviction policy coherent).
+pub fn partition_even(members: &[usize], n: usize) -> Vec<DecodeBatch> {
+    assert!(n > 0, "need at least one batch");
+    let mut out: Vec<DecodeBatch> = (0..n).map(|_| DecodeBatch::new()).collect();
+    if members.is_empty() {
+        return out;
+    }
+    let base = members.len() / n;
+    let extra = members.len() % n;
+    let mut cursor = 0;
+    for (i, batch) in out.iter_mut().enumerate() {
+        let take = base + usize::from(i < extra);
+        batch.members.extend_from_slice(&members[cursor..cursor + take]);
+        cursor += take;
+    }
+    debug_assert_eq!(cursor, members.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdpipe_workload::ShareGptLikeConfig;
+
+    #[test]
+    fn partition_is_even_and_complete() {
+        let members: Vec<usize> = (0..10).collect();
+        let batches = partition_even(&members, 4);
+        let sizes: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        let mut all: Vec<usize> = batches.iter().flat_map(|b| b.members.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, members);
+    }
+
+    #[test]
+    fn partition_handles_fewer_members_than_batches() {
+        let batches = partition_even(&[7, 8], 4);
+        let sizes: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let batches = partition_even(&[], 3);
+        assert!(batches.iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn total_ctx_sums_resident_tokens() {
+        let t = ShareGptLikeConfig::small(4, 2).generate();
+        let mut pool = crate::request::RequestPool::new(t.requests(), |r| r.output_len);
+        for i in 0..4 {
+            let tokens = pool.get(i).input_len;
+            pool.note_prefill(i, tokens);
+        }
+        pool.note_decode_step(0, 0.0);
+        let b = DecodeBatch {
+            members: vec![0, 1],
+        };
+        let expect = pool.get(0).resident_tokens() + pool.get(1).resident_tokens();
+        assert_eq!(b.total_ctx(&pool), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_batches_panics() {
+        partition_even(&[1], 0);
+    }
+}

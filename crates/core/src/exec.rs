@@ -1,0 +1,90 @@
+//! The execution-plane abstraction the engine schedules against.
+//!
+//! The TD-Pipe engine only needs four things from an execution plane:
+//! launch a staged job, learn (in launch order) when jobs finish, know how
+//! many are outstanding, and drain at the end. The deterministic simulator
+//! satisfies this trivially; so does the threaded hierarchy-controller of
+//! `tdpipe-runtime` — which is how the *same engine code* is proven to run
+//! on real concurrency (see that crate's `TdPipeEngine` integration test).
+
+use tdpipe_sim::{PipelineSim, SegmentKind, Timeline, TransferMode};
+
+/// An execution plane: something that runs staged pipeline jobs.
+///
+/// Completions are reported strictly in launch order (guaranteed by FIFO
+/// stages in both implementations).
+pub trait PipelineExecutor {
+    /// Launch a job (non-blocking).
+    fn launch(&mut self, ready: f64, exec: &[f64], xfer: &[f64], kind: SegmentKind, tag: u64);
+
+    /// Block until the oldest outstanding job completes; returns
+    /// `(tag, finish_time)`.
+    ///
+    /// # Panics
+    /// Panics if nothing is outstanding.
+    fn next_completion(&mut self) -> (u64, f64);
+
+    /// Number of launched-but-uncompleted jobs.
+    fn outstanding(&self) -> usize;
+
+    /// Finish collecting: wait out all outstanding jobs and return the
+    /// final virtual time plus whatever timeline was recorded.
+    fn finish(self: Box<Self>) -> (f64, Timeline);
+}
+
+/// The deterministic simulator as an execution plane.
+pub struct SimExecutor {
+    sim: PipelineSim,
+    completions: std::collections::VecDeque<(u64, f64)>,
+}
+
+impl SimExecutor {
+    /// A simulator-backed executor.
+    pub fn new(num_stages: u32, mode: TransferMode, record_timeline: bool) -> Self {
+        SimExecutor {
+            sim: PipelineSim::new(num_stages, mode, record_timeline),
+            completions: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+impl PipelineExecutor for SimExecutor {
+    fn launch(&mut self, ready: f64, exec: &[f64], xfer: &[f64], kind: SegmentKind, tag: u64) {
+        let t = self.sim.launch(ready, exec, xfer, kind, tag);
+        self.completions.push_back((tag, t.finish));
+    }
+
+    fn next_completion(&mut self) -> (u64, f64) {
+        self.completions
+            .pop_front()
+            .expect("no outstanding job to complete")
+    }
+
+    fn outstanding(&self) -> usize {
+        self.completions.len()
+    }
+
+    fn finish(self: Box<Self>) -> (f64, Timeline) {
+        let drained = self.sim.drained_at();
+        (drained, self.sim.into_timeline())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_executor_reports_in_launch_order() {
+        let mut ex = SimExecutor::new(2, TransferMode::Async, false);
+        ex.launch(0.0, &[1.0, 1.0], &[0.0], SegmentKind::Decode, 7);
+        ex.launch(0.0, &[0.1, 0.1], &[0.0], SegmentKind::Decode, 8);
+        assert_eq!(ex.outstanding(), 2);
+        let (t0, f0) = ex.next_completion();
+        let (t1, f1) = ex.next_completion();
+        assert_eq!((t0, t1), (7, 8));
+        assert!(f1 >= f0);
+        let (drained, _) = Box::new(ex).finish();
+        assert!(drained >= f1);
+    }
+}

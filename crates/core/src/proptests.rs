@@ -1,0 +1,120 @@
+//! Property tests over TD-Pipe's decision mechanisms.
+
+use crate::batch::partition_even;
+use crate::greedy::GreedyPrefillPlanner;
+use crate::request::{Lifecycle, RequestState};
+use crate::steal::WorkStealer;
+use proptest::prelude::*;
+use tdpipe_workload::RequestId;
+
+fn req(input: u32, generated: u32, predicted: u32) -> RequestState {
+    RequestState {
+        id: RequestId(0),
+        input_len: input,
+        output_len: predicted.max(1),
+        predicted: predicted.max(1),
+        generated,
+        lifecycle: Lifecycle::Decoding,
+        evictions: 0,
+        swapped: false,
+        arrival: 0.0,
+        first_token_at: f64::NAN,
+        finished_at: f64::NAN,
+    }
+}
+
+proptest! {
+    #[test]
+    fn partition_even_is_a_partition(members in prop::collection::vec(0usize..10_000, 0..500), n in 1usize..8) {
+        let batches = partition_even(&members, n);
+        prop_assert_eq!(batches.len(), n);
+        let mut all: Vec<usize> = batches.iter().flat_map(|b| b.members.clone()).collect();
+        prop_assert_eq!(&all[..], &members[..], "order-preserving concatenation");
+        all.sort_unstable();
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(all, sorted);
+        let min = batches.iter().map(|b| b.len()).min().unwrap();
+        let max = batches.iter().map(|b| b.len()).max().unwrap();
+        prop_assert!(max - min <= 1, "even to within one");
+    }
+
+    #[test]
+    fn greedy_usage_is_additive_and_monotone(
+        reqs in prop::collection::vec((1u32..1024, 0u32..256, 1u32..1200), 1..40),
+        cap in 1u64..1_000_000,
+    ) {
+        let points: Vec<u32> = (1..=8).map(|i| i * 32).collect();
+        let mut p = GreedyPrefillPlanner::new(points.clone(), cap);
+        let mut prev_peak = 0;
+        for &(input, generated, predicted) in &reqs {
+            p.add_request(&req(input, generated, predicted));
+            let peak = p.peak_usage();
+            prop_assert!(peak >= prev_peak, "usage only grows during admission");
+            prev_peak = peak;
+        }
+        // Reset with no residents clears everything.
+        p.reset(std::iter::empty());
+        prop_assert_eq!(p.peak_usage(), 0);
+        // Re-adding the same set reproduces the same peak (determinism).
+        for &(input, generated, predicted) in &reqs {
+            p.add_request(&req(input, generated, predicted));
+        }
+        prop_assert_eq!(p.peak_usage(), prev_peak);
+    }
+
+    #[test]
+    fn greedy_peak_bounds_true_token_demand(
+        reqs in prop::collection::vec((1u32..512, 33u32..1200), 1..40),
+    ) {
+        // For requests whose predicted output survives the first future
+        // point, the simulated peak is at least (input + 32) each — the
+        // planner never *under*-counts live requests at fp=32.
+        let points: Vec<u32> = (1..=32).map(|i| i * 32).collect();
+        let mut p = GreedyPrefillPlanner::new(points, u64::MAX);
+        let mut lower = 0u64;
+        for &(input, predicted) in &reqs {
+            p.add_request(&req(input, 0, predicted));
+            lower += input as u64 + 32;
+        }
+        prop_assert!(p.peak_usage() >= lower);
+    }
+
+    #[test]
+    fn stealing_conserves_and_tightens(
+        sizes in prop::collection::vec(1usize..200, 2..6),
+        rounds in 1usize..12,
+    ) {
+        let mut next_id = 0usize;
+        let mut batches: Vec<Vec<usize>> = sizes
+            .iter()
+            .map(|&s| {
+                let b: Vec<usize> = (next_id..next_id + s).collect();
+                next_id += s;
+                b
+            })
+            .collect();
+        let total: usize = sizes.iter().sum();
+        let mut stealer = WorkStealer::new(&sizes);
+        for _ in 0..rounds {
+            for b in batches.iter_mut() {
+                stealer.on_batch_return(b, 0);
+            }
+        }
+        let held: usize = batches.iter().map(Vec::len).sum::<usize>() + stealer.withheld().len();
+        prop_assert_eq!(held, total, "no request lost or duplicated");
+        // No duplicates anywhere.
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+        all.extend(stealer.withheld());
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), total);
+        // With no completions, several rounds must tighten the spread to
+        // within ~1 of even (+ leftover pool smaller than one batch gap).
+        if rounds >= sizes.len() + 2 {
+            let min = batches.iter().map(Vec::len).min().unwrap();
+            let max = batches.iter().map(Vec::len).max().unwrap();
+            prop_assert!(max - min <= 2, "spread {min}..{max} after {rounds} rounds");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Request lifecycle tracking shared by every scheduler.
+
+use tdpipe_sim::LatencySummary;
+use tdpipe_workload::stats::percentile;
+use tdpipe_workload::{Request, RequestId};
+
+/// Where a request currently is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Not yet prefilled (or evicted and awaiting re-prefill).
+    Pending,
+    /// KV resident; generating tokens.
+    Decoding,
+    /// All output tokens produced.
+    Finished,
+}
+
+/// Mutable per-request scheduler state.
+///
+/// `output_len` is the simulator oracle: schedulers must only compare it
+/// against `generated` to detect completion (the simulated act of sampling
+/// an EOS token), never use it for planning — planning uses `predicted`.
+#[derive(Debug, Clone)]
+pub struct RequestState {
+    /// Trace-level identity.
+    pub id: RequestId,
+    /// Prompt tokens.
+    pub input_len: u32,
+    /// Oracle output length (EOS position).
+    pub output_len: u32,
+    /// Predicted output length (filled by the configured predictor).
+    pub predicted: u32,
+    /// Tokens generated so far.
+    pub generated: u32,
+    /// Lifecycle stage.
+    pub lifecycle: Lifecycle,
+    /// How many times this request was evicted for recomputation.
+    pub evictions: u32,
+    /// Whether the request's KV currently lives in host memory (swapped
+    /// out); such a request is re-admitted by a swap-in transfer instead
+    /// of a recompute prefill.
+    pub swapped: bool,
+    /// Time the request entered the system (0 for offline traces).
+    pub arrival: f64,
+    /// Virtual time the first output token was produced (NaN until then).
+    pub first_token_at: f64,
+    /// Virtual time the last output token was produced (NaN until then).
+    pub finished_at: f64,
+}
+
+impl RequestState {
+    /// Tokens of KV this request holds while resident.
+    #[inline]
+    pub fn resident_tokens(&self) -> u64 {
+        self.input_len as u64 + self.generated as u64
+    }
+
+    /// Tokens the *next* prefill of this request must process (prompt plus
+    /// any generated tokens being recomputed after an eviction).
+    #[inline]
+    pub fn prefill_tokens(&self) -> u32 {
+        self.input_len + self.generated
+    }
+
+    /// Whether the next generated token is the last one.
+    #[inline]
+    pub fn finishes_next_step(&self) -> bool {
+        self.generated + 1 >= self.output_len
+    }
+
+    /// Predicted tokens still to generate.
+    #[inline]
+    pub fn predicted_remaining(&self) -> u32 {
+        self.predicted.saturating_sub(self.generated)
+    }
+}
+
+/// The pool of all requests in a run, with conservation accounting.
+#[derive(Debug, Clone)]
+pub struct RequestPool {
+    states: Vec<RequestState>,
+    finished: usize,
+    /// Prompt tokens prefilled for the first time.
+    pub input_tokens: u64,
+    /// Tokens generated (each decode step of each active request adds 1).
+    pub output_tokens: u64,
+    /// Tokens prefilled again after recompute-evictions.
+    pub recomputed_tokens: u64,
+    /// Tokens moved over the host link by swap-preemption (out + in).
+    pub swapped_tokens: u64,
+}
+
+impl RequestPool {
+    /// Build the pool from trace requests, attaching predictions via
+    /// `predict` (use the oracle or a trained predictor).
+    pub fn new<F: FnMut(&Request) -> u32>(requests: &[Request], predict: F) -> Self {
+        Self::with_arrivals(requests, &[], predict)
+    }
+
+    /// Like [`Self::new`] with per-request arrival times (empty slice =
+    /// all at t = 0). Latency metrics are reported relative to arrival.
+    pub fn with_arrivals<F: FnMut(&Request) -> u32>(
+        requests: &[Request],
+        arrivals: &[f64],
+        mut predict: F,
+    ) -> Self {
+        assert!(
+            arrivals.is_empty() || arrivals.len() == requests.len(),
+            "one arrival per request"
+        );
+        let states = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RequestState {
+                id: r.id,
+                input_len: r.input_len,
+                output_len: r.output_len.max(1),
+                predicted: predict(r).max(1),
+                generated: 0,
+                lifecycle: Lifecycle::Pending,
+                evictions: 0,
+                swapped: false,
+                arrival: arrivals.get(i).copied().unwrap_or(0.0),
+                first_token_at: f64::NAN,
+                finished_at: f64::NAN,
+            })
+            .collect();
+        RequestPool {
+            states,
+            finished: 0,
+            input_tokens: 0,
+            output_tokens: 0,
+            recomputed_tokens: 0,
+            swapped_tokens: 0,
+        }
+    }
+
+    /// Number of requests in the pool.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the pool is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Number of finished requests.
+    #[inline]
+    pub fn finished(&self) -> usize {
+        self.finished
+    }
+
+    /// Whether every request has finished.
+    #[inline]
+    pub fn all_finished(&self) -> bool {
+        self.finished == self.states.len()
+    }
+
+    /// Immutable state access by pool index.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &RequestState {
+        &self.states[idx]
+    }
+
+    /// Mutable state access by pool index.
+    #[inline]
+    pub fn get_mut(&mut self, idx: usize) -> &mut RequestState {
+        &mut self.states[idx]
+    }
+
+    /// Record that request `idx` was prefilled (`tokens` processed). The
+    /// first prefill counts toward `input_tokens`; re-prefills after
+    /// eviction count toward `recomputed_tokens`.
+    pub fn note_prefill(&mut self, idx: usize, tokens: u32) {
+        let s = &mut self.states[idx];
+        debug_assert_eq!(s.lifecycle, Lifecycle::Pending);
+        s.lifecycle = Lifecycle::Decoding;
+        if s.evictions == 0 {
+            self.input_tokens += tokens as u64;
+        } else {
+            self.recomputed_tokens += tokens as u64;
+        }
+    }
+
+    /// Record the virtual time a request's first output token appeared
+    /// (the end of its prefill job). Set-once: recomputation after an
+    /// eviction does not move the original first-token time.
+    pub fn note_first_token(&mut self, idx: usize, at: f64) {
+        let s = &mut self.states[idx];
+        if s.first_token_at.is_nan() {
+            s.first_token_at = at;
+        }
+    }
+
+    /// Advance request `idx` by one generated token at virtual time `now`;
+    /// returns `true` when the request just finished.
+    pub fn note_decode_step(&mut self, idx: usize, now: f64) -> bool {
+        let s = &mut self.states[idx];
+        debug_assert_eq!(s.lifecycle, Lifecycle::Decoding);
+        s.generated += 1;
+        self.output_tokens += 1;
+        if s.generated >= s.output_len {
+            s.lifecycle = Lifecycle::Finished;
+            s.finished_at = now;
+            self.finished += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Per-request latency distribution; `None` until every request has
+    /// finished and has a first-token timestamp.
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        if !self.all_finished() || self.is_empty() {
+            return None;
+        }
+        let mut ttft = Vec::with_capacity(self.len());
+        let mut done = Vec::with_capacity(self.len());
+        for s in &self.states {
+            if s.first_token_at.is_nan() || s.finished_at.is_nan() {
+                return None;
+            }
+            ttft.push(s.first_token_at - s.arrival);
+            done.push(s.finished_at - s.arrival);
+        }
+        Some(LatencySummary {
+            ttft_mean: ttft.iter().sum::<f64>() / ttft.len() as f64,
+            ttft_p99: percentile(&ttft, 99.0),
+            completion_mean: done.iter().sum::<f64>() / done.len() as f64,
+            completion_p50: percentile(&done, 50.0),
+            completion_p99: percentile(&done, 99.0),
+        })
+    }
+
+    /// Record a recompute-eviction: the request keeps its generated tokens
+    /// (they will be recomputed) and returns to the pending queue.
+    pub fn note_eviction(&mut self, idx: usize) {
+        let s = &mut self.states[idx];
+        debug_assert_eq!(s.lifecycle, Lifecycle::Decoding);
+        s.lifecycle = Lifecycle::Pending;
+        s.evictions += 1;
+    }
+
+    /// Record a swap-out: the KV moves to host memory; the request rejoins
+    /// the pending queue flagged for swap-in re-admission.
+    pub fn note_swap_out(&mut self, idx: usize) {
+        let s = &mut self.states[idx];
+        debug_assert_eq!(s.lifecycle, Lifecycle::Decoding);
+        s.lifecycle = Lifecycle::Pending;
+        s.swapped = true;
+        s.evictions += 1;
+        self.swapped_tokens += s.resident_tokens();
+    }
+
+    /// Record a swap-in of `tokens` resident tokens (the transfer back).
+    pub fn note_swap_in(&mut self, idx: usize, tokens: u64) {
+        let s = &mut self.states[idx];
+        debug_assert_eq!(s.lifecycle, Lifecycle::Pending);
+        debug_assert!(s.swapped, "swap-in of a non-swapped request");
+        s.lifecycle = Lifecycle::Decoding;
+        s.swapped = false;
+        self.swapped_tokens += tokens;
+    }
+
+    /// Panic unless every request finished exactly (conservation check for
+    /// integration tests).
+    pub fn assert_conserved(&self) {
+        assert_eq!(self.finished, self.states.len(), "unfinished requests");
+        for s in &self.states {
+            assert_eq!(s.lifecycle, Lifecycle::Finished, "{} not finished", s.id);
+            assert_eq!(s.generated, s.output_len, "{} wrong token count", s.id);
+        }
+        let expect: u64 = self.states.iter().map(|s| s.output_len as u64).sum();
+        assert_eq!(self.output_tokens, expect, "output token accounting drift");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdpipe_workload::ShareGptLikeConfig;
+
+    fn pool(n: usize) -> RequestPool {
+        let t = ShareGptLikeConfig::small(n, 1).generate();
+        RequestPool::new(t.requests(), |r| r.output_len) // oracle
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut p = pool(3);
+        let out = p.get(0).output_len;
+        p.note_prefill(0, p.get(0).input_len);
+        assert_eq!(p.get(0).lifecycle, Lifecycle::Decoding);
+        for step in 0..out {
+            let finished = p.note_decode_step(0, step as f64);
+            assert_eq!(finished, step + 1 == out);
+        }
+        assert_eq!(p.finished(), 1);
+        assert_eq!(p.output_tokens, out as u64);
+    }
+
+    #[test]
+    fn eviction_recomputes() {
+        let mut p = pool(1);
+        let input = p.get(0).input_len;
+        p.note_prefill(0, input);
+        p.note_decode_step(0, 0.5); // at least 1 token generated (output_len >= 1)
+        if p.get(0).lifecycle == Lifecycle::Finished {
+            return; // 1-token output: nothing to evict
+        }
+        p.note_eviction(0);
+        assert_eq!(p.get(0).lifecycle, Lifecycle::Pending);
+        assert_eq!(p.get(0).prefill_tokens(), input + 1);
+        p.note_prefill(0, input + 1);
+        assert_eq!(p.recomputed_tokens, (input + 1) as u64);
+        assert_eq!(p.input_tokens, input as u64);
+    }
+
+    #[test]
+    fn conservation_detects_incomplete_runs() {
+        let p = pool(2);
+        let r = std::panic::catch_unwind(move || p.assert_conserved());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn predicted_remaining_saturates() {
+        let mut p = pool(1);
+        p.get_mut(0).predicted = 5;
+        p.get_mut(0).generated = 9;
+        assert_eq!(p.get(0).predicted_remaining(), 0);
+    }
+}

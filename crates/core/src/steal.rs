@@ -1,0 +1,209 @@
+//! Inter-batch work stealing (paper §3.4).
+//!
+//! During the decode phase, requests complete at random, so the `n`
+//! in-flight batches drift apart in size — and, because decode steps of
+//! one batch must run back-to-back, the *largest* batch paces the pipeline
+//! while smaller batches leave bubbles. The stealer rebalances on the fly:
+//!
+//! * a sliding window (length = number of batches) tracks the most recent
+//!   submitted batch sizes;
+//! * when a batch returns, the engine removes its finished requests and
+//!   hands it to the stealer with the number just finished;
+//! * the target size is `(window_sum − finished_now) / window_len`
+//!   (integer floor, exactly the arithmetic of the paper's Fig. 9 walk-
+//!   through);
+//! * over-target batches have their excess *withheld* into a pool;
+//!   under-target batches are topped up from the pool.
+
+use std::collections::VecDeque;
+
+/// The sliding-window work stealer.
+///
+/// ```
+/// use tdpipe_core::steal::WorkStealer;
+///
+/// let mut stealer = WorkStealer::new(&[128, 128]);
+/// let mut heavy: Vec<usize> = (0..128).collect();
+/// // 60 requests of the other batch finished: this batch is now over the
+/// // sliding-window target and gets trimmed.
+/// stealer.on_batch_return(&mut heavy, 60);
+/// assert!(heavy.len() < 128);
+/// assert!(!stealer.withheld().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkStealer {
+    window: VecDeque<usize>,
+    withheld: Vec<usize>,
+}
+
+impl WorkStealer {
+    /// Start a decode phase with the given initial batch sizes (the window
+    /// seeds from them; paper Fig. 9 starts from `[128, 128, 128, 128]`).
+    pub fn new(initial_sizes: &[usize]) -> Self {
+        assert!(!initial_sizes.is_empty(), "need at least one batch");
+        WorkStealer {
+            window: initial_sizes.iter().copied().collect(),
+            withheld: Vec::new(),
+        }
+    }
+
+    /// Rebalance a returned batch. `members` must already have finished
+    /// requests removed; `finished_now` is how many were just removed.
+    ///
+    /// Over-average members are moved into the withheld pool (newest last —
+    /// the tail of `members` is withheld first); under-average batches are
+    /// topped up from the pool. The submitted size is recorded in the
+    /// window.
+    pub fn on_batch_return(&mut self, members: &mut Vec<usize>, finished_now: usize) {
+        // The withheld pool is live work too — counting it in the target is
+        // what drains the pool back into light batches instead of letting
+        // stolen requests linger.
+        let sum: usize = self.window.iter().sum::<usize>() + self.withheld.len();
+        // Floor the target at 1: stealing a live batch to zero would retire
+        // it from the pipeline entirely, which is never a balance win.
+        let target = (sum.saturating_sub(finished_now) / self.window.len()).max(1);
+        if members.len() > target {
+            let excess = members.split_off(target);
+            self.withheld.extend(excess);
+        } else if members.len() < target && !self.withheld.is_empty() {
+            let need = (target - members.len()).min(self.withheld.len());
+            let from = self.withheld.len() - need;
+            members.extend(self.withheld.drain(from..));
+        }
+        self.window.pop_front();
+        self.window.push_back(members.len());
+    }
+
+    /// Requests currently withheld (waiting to supplement a light batch).
+    #[inline]
+    pub fn withheld(&self) -> &[usize] {
+        &self.withheld
+    }
+
+    /// Drain the withheld pool (end of the decode phase: the requests are
+    /// re-partitioned with everything else at the next phase switch).
+    pub fn drain(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.withheld)
+    }
+
+    /// Current sliding-window target batch size.
+    pub fn current_target(&self) -> usize {
+        self.window.iter().sum::<usize>() / self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays the walk-through of the paper's Figure 9.
+    #[test]
+    fn fig9_walkthrough() {
+        // 512 requests, 4 batches of 128.
+        let mut s = WorkStealer::new(&[128, 128, 128, 128]);
+
+        // Batch 0 returns: 48 finished, 80 left. Avg = (512-48)/4 = 116.
+        // 80 < 116 and the pool is empty → submit all 80.
+        let mut b0: Vec<usize> = (0..80).collect();
+        s.on_batch_return(&mut b0, 48);
+        assert_eq!(b0.len(), 80);
+        assert!(s.withheld().is_empty());
+
+        // Batch 1 returns: 8 finished, 120 left.
+        // Avg = (80+128+128+128-8)/4 = 114 → steal 6, submit 114.
+        let mut b1: Vec<usize> = (100..220).collect();
+        s.on_batch_return(&mut b1, 8);
+        assert_eq!(b1.len(), 114);
+        assert_eq!(s.withheld().len(), 6);
+
+        // Batch 2 returns: none finished, 128 left. Our target counts the
+        // withheld pool (required for the pool to drain; Fig. 9's prose
+        // omits it): (128+80+114+128 + 6)/4 = 114 → steal 14.
+        let mut b2: Vec<usize> = (300..428).collect();
+        s.on_batch_return(&mut b2, 0);
+        assert_eq!(b2.len(), 114);
+        assert_eq!(s.withheld().len(), 6 + 14);
+
+        // Batch 3 returns: none finished, 128 left.
+        // (80+114+114+128 + 20)/4 = 114 → steal 14.
+        let mut b3: Vec<usize> = (500..628).collect();
+        s.on_batch_return(&mut b3, 0);
+        assert_eq!(b3.len(), 114);
+        assert_eq!(s.withheld().len(), 34);
+
+        // Batch 0 comes around again: (114+114+114+80 + 34)/4 = 114 — the
+        // light batch absorbs the whole pool, balancing all four batches.
+        let mut b0_again = b0;
+        s.on_batch_return(&mut b0_again, 0);
+        assert_eq!(b0_again.len(), 114);
+        assert!(s.withheld().is_empty());
+    }
+
+    #[test]
+    fn stealing_conserves_requests() {
+        let mut s = WorkStealer::new(&[10, 10, 10]);
+        let mut batches: Vec<Vec<usize>> = vec![
+            (0..10).collect(),
+            (10..20).collect(),
+            (20..30).collect(),
+        ];
+        // Simulate uneven completion for a few rounds.
+        let mut alive: Vec<usize> = (0..30).collect();
+        for round in 0..20 {
+            for b in batches.iter_mut() {
+                // "Finish" the first request of this batch on even rounds.
+                let finished = if round % 2 == 0 && !b.is_empty() {
+                    let gone = b.remove(0);
+                    alive.retain(|&x| x != gone);
+                    1
+                } else {
+                    0
+                };
+                s.on_batch_return(b, finished);
+            }
+            // Conservation: batches + withheld == alive, no duplicates.
+            let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+            all.extend(s.withheld());
+            all.sort_unstable();
+            let mut expect = alive.clone();
+            expect.sort_unstable();
+            assert_eq!(all, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn converges_toward_balance() {
+        // Start wildly imbalanced; with no completions the spread must
+        // shrink to ≤ 1 within a few rounds.
+        let mut s = WorkStealer::new(&[200, 10, 10, 10]);
+        let mut batches: Vec<Vec<usize>> = vec![
+            (0..200).collect(),
+            (200..210).collect(),
+            (210..220).collect(),
+            (220..230).collect(),
+        ];
+        for _ in 0..6 {
+            for b in batches.iter_mut() {
+                s.on_batch_return(b, 0);
+            }
+        }
+        let sizes: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        let withheld = s.withheld().len();
+        assert!(
+            max - min <= 2 && withheld <= 4,
+            "not balanced: {sizes:?} withheld={withheld}"
+        );
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut s = WorkStealer::new(&[4, 4]);
+        let mut big: Vec<usize> = (0..10).collect();
+        s.on_batch_return(&mut big, 0);
+        let pool = s.drain();
+        assert_eq!(big.len() + pool.len(), 10);
+        assert!(s.withheld().is_empty());
+    }
+}

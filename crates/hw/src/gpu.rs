@@ -1,0 +1,112 @@
+//! GPU device specifications (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one GPU device.
+///
+/// The two concrete instances, [`GpuSpec::l20`] and [`GpuSpec::a100`],
+/// reproduce the paper's Table 1 verbatim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"L20"`.
+    pub name: String,
+    /// Peak FP16/BF16 tensor-core throughput in FLOP/s.
+    pub fp16_flops: f64,
+    /// Peak HBM bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Device memory in bytes.
+    pub mem_bytes: u64,
+}
+
+const GIB: u64 = 1 << 30;
+
+impl GpuSpec {
+    /// NVIDIA L20 — Table 1: 119.5 TFLOPS FP16, 864 GB/s, 48 GB.
+    pub fn l20() -> Self {
+        GpuSpec {
+            name: "L20".into(),
+            fp16_flops: 119.5e12,
+            mem_bw: 864.0e9,
+            mem_bytes: 48 * GIB,
+        }
+    }
+
+    /// NVIDIA A100 (80 GB) — Table 1: 312 TFLOPS FP16, 1935 GB/s, 80 GB.
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "A100".into(),
+            fp16_flops: 312.0e12,
+            mem_bw: 1935.0e9,
+            mem_bytes: 80 * GIB,
+        }
+    }
+
+    /// NVIDIA A10 (24 GB) — one of the commodity devices §2.2 names as
+    /// typical throughput-deployment hardware. 125 TFLOPS FP16 tensor,
+    /// 600 GB/s GDDR6.
+    pub fn a10() -> Self {
+        GpuSpec {
+            name: "A10".into(),
+            fp16_flops: 125.0e12,
+            mem_bw: 600.0e9,
+            mem_bytes: 24 * GIB,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 4090 (24 GB) — the other commodity device §2.2
+    /// names. 165 TFLOPS dense FP16 tensor, 1008 GB/s GDDR6X.
+    pub fn rtx4090() -> Self {
+        GpuSpec {
+            name: "RTX4090".into(),
+            fp16_flops: 165.0e12,
+            mem_bw: 1008.0e9,
+            mem_bytes: 24 * GIB,
+        }
+    }
+
+    /// A small fictional device for fast tests (1 TFLOP/s, 100 GB/s, 4 GB).
+    pub fn tiny_test() -> Self {
+        GpuSpec {
+            name: "TestGPU".into(),
+            fp16_flops: 1.0e12,
+            mem_bw: 100.0e9,
+            mem_bytes: 4 * GIB,
+        }
+    }
+
+    /// Machine-balance point: FLOPs per byte at which a kernel transitions
+    /// from memory-bound to compute-bound on this device.
+    #[inline]
+    pub fn balance_flops_per_byte(&self) -> f64 {
+        self.fp16_flops / self.mem_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let l20 = GpuSpec::l20();
+        assert_eq!(l20.fp16_flops, 119.5e12);
+        assert_eq!(l20.mem_bw, 864.0e9);
+        assert_eq!(l20.mem_bytes, 48 * GIB);
+
+        let a100 = GpuSpec::a100();
+        assert_eq!(a100.fp16_flops, 312.0e12);
+        assert_eq!(a100.mem_bw, 1935.0e9);
+        assert_eq!(a100.mem_bytes, 80 * GIB);
+    }
+
+    #[test]
+    fn a100_is_stronger_in_both_dimensions() {
+        let (l, a) = (GpuSpec::l20(), GpuSpec::a100());
+        assert!(a.fp16_flops > l.fp16_flops);
+        assert!(a.mem_bw > l.mem_bw);
+        // Machine balance: both need >100 FLOPs/byte to be compute-bound,
+        // which is why decode (AI ≈ 2) is firmly memory-bound on either.
+        assert!(l.balance_flops_per_byte() > 100.0);
+        assert!(a.balance_flops_per_byte() > 100.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Hardware performance models for the TD-Pipe reproduction.
+//!
+//! The paper's testbed is two 4-GPU PCIe nodes (NVIDIA L20 and A100, paper
+//! Table 1). This crate replaces the physical hardware with analytical
+//! models whose parameters come straight from that table:
+//!
+//! * [`GpuSpec`] — peak FP16 tensor throughput, HBM bandwidth, memory size.
+//! * [`KernelModel`] — a roofline execution-time model for a transformer
+//!   layer invocation: `t = max(flops / (peak·η_c), bytes / (bw·η_m)) + t_launch`.
+//!   The compute-efficiency ramp `η_c(tokens)` captures why tiny decode
+//!   batches cannot saturate tensor cores, producing exactly the
+//!   `Achieved/Peak` spatial-intensity curve of the paper's §3.5.
+//! * [`Interconnect`] — α–β cost models for ring all-reduce (2 per layer
+//!   under tensor parallelism) and point-to-point activation transfers
+//!   (one per pipeline-stage boundary), parameterised by the measured
+//!   14.65 / 14.82 GB/s all-reduce bandwidths of Table 1.
+//! * [`DecodeProfile`] — the offline profiling table TD-Pipe's
+//!   spatial-temporal intensity comparison consults at run time.
+
+pub mod gpu;
+pub mod interconnect;
+pub mod kernel;
+pub mod node;
+pub mod profile;
+
+pub use gpu::GpuSpec;
+pub use interconnect::Interconnect;
+pub use kernel::KernelModel;
+pub use node::NodeSpec;
+pub use profile::DecodeProfile;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,142 @@
+//! Offline decode profiling tables (the `Achieved/Peak` curve of §3.5).
+//!
+//! TD-Pipe's spatial-temporal intensity comparison needs, at run time, the
+//! *spatial intensity* of a decode batch: the ratio of the per-request
+//! decode rate currently achieved to the best rate achievable at high
+//! computational intensity. The paper obtains both by offline profiling;
+//! we obtain them by evaluating the kernel model over a grid of batch
+//! sizes once at engine start-up and interpolating thereafter — exactly the
+//! lookup-table role the profiler plays in the real system.
+
+use serde::{Deserialize, Serialize};
+
+/// Profiled per-request decode rates as a function of batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeProfile {
+    /// `(batch_size, requests per second per request slot)` samples sorted
+    /// by batch size.
+    samples: Vec<(f64, f64)>,
+    /// Best observed per-request rate ("Peak" in Eq. 1).
+    peak: f64,
+}
+
+impl DecodeProfile {
+    /// Build a profile by timing decode steps at a grid of batch sizes.
+    ///
+    /// `step_time(b)` must return the wall time of one full decode step
+    /// (all stages / the whole model) for a batch of `b` requests at a
+    /// representative context length. `max_batch` is the "sufficiently
+    /// large batch size" whose rate defines *Peak*.
+    /// The paper's Eq. 1 uses "the reciprocal of the average execution time
+    /// per request": for a batch of `b` taking `t(b)` per step that is
+    /// `1 / (t(b)/b) = b / t(b)` — the batch's decode throughput. *Peak* is
+    /// that throughput at the large profiling batch, where computational
+    /// intensity is highest (Fig. 10's saturating curve).
+    pub fn build<F: Fn(usize) -> f64>(max_batch: usize, step_time: F) -> Self {
+        assert!(max_batch >= 1, "profile needs at least batch size 1");
+        let mut grid: Vec<usize> = Vec::new();
+        let mut b = 1usize;
+        while b < max_batch {
+            grid.push(b);
+            b *= 2;
+        }
+        grid.push(max_batch);
+
+        let mut samples = Vec::with_capacity(grid.len());
+        let mut peak = 0.0f64;
+        for &b in &grid {
+            let t = step_time(b);
+            assert!(t > 0.0, "step time must be positive (batch {b})");
+            let throughput = b as f64 / t;
+            samples.push((b as f64, throughput));
+            peak = peak.max(throughput);
+        }
+        DecodeProfile { samples, peak }
+    }
+
+    /// Batch decode throughput (tokens/s ≡ requests/step/s) at `batch`,
+    /// linearly interpolated between profiled grid points.
+    pub fn achieved(&self, batch: usize) -> f64 {
+        let b = batch as f64;
+        let s = &self.samples;
+        if batch == 0 || s.is_empty() {
+            return 0.0;
+        }
+        if b <= s[0].0 {
+            return s[0].1 * b / s[0].0;
+        }
+        if b >= s[s.len() - 1].0 {
+            return s[s.len() - 1].1;
+        }
+        let i = s.partition_point(|&(x, _)| x < b);
+        let (x0, y0) = s[i - 1];
+        let (x1, y1) = s[i];
+        y0 + (y1 - y0) * (b - x0) / (x1 - x0)
+    }
+
+    /// Peak decode throughput (Eq. 1's denominator).
+    #[inline]
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Spatial intensity (Eq. 1): `Achieved / Peak`, clamped to `[0, 1]`.
+    pub fn spatial_intensity(&self, batch: usize) -> f64 {
+        if self.peak <= 0.0 {
+            return 0.0;
+        }
+        (self.achieved(batch) / self.peak).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuSpec;
+    use crate::kernel::KernelModel;
+    use tdpipe_model::ModelSpec;
+
+    fn profile_13b_l20(max_batch: usize) -> DecodeProfile {
+        let k = KernelModel::calibrated(GpuSpec::l20());
+        let m = ModelSpec::llama2_13b();
+        DecodeProfile::build(max_batch, |b| {
+            let w = m.decode_layer_work(b, b as u64 * 300);
+            k.stage_time(&w, m.layers, &[m.lm_head_work(b as u64)])
+        })
+    }
+
+    #[test]
+    fn intensity_grows_with_batch_and_saturates() {
+        let p = profile_13b_l20(512);
+        let i16 = p.spatial_intensity(16);
+        let i128 = p.spatial_intensity(128);
+        let i512 = p.spatial_intensity(512);
+        assert!(i16 < i128 && i128 < i512, "{i16} {i128} {i512}");
+        assert!((i512 - 1.0).abs() < 1e-9);
+        assert!(i16 < 0.3, "small batches must be far from peak, got {i16}");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_and_bounded() {
+        let p = profile_13b_l20(512);
+        let mut prev = 0.0;
+        for b in [1usize, 3, 7, 12, 33, 100, 200, 400, 511, 512, 600] {
+            let i = p.spatial_intensity(b);
+            assert!((0.0..=1.0).contains(&i));
+            assert!(i + 1e-12 >= prev, "not monotone at {b}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn zero_batch_has_zero_intensity() {
+        let p = profile_13b_l20(64);
+        assert_eq!(p.spatial_intensity(0), 0.0);
+    }
+
+    #[test]
+    fn beyond_profiled_range_clamps_to_peak() {
+        let p = profile_13b_l20(128);
+        assert!((p.spatial_intensity(10_000) - 1.0).abs() < 1e-9);
+    }
+}

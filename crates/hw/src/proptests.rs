@@ -1,0 +1,82 @@
+//! Property tests over the hardware cost models.
+
+use crate::gpu::GpuSpec;
+use crate::interconnect::Interconnect;
+use crate::kernel::KernelModel;
+use crate::profile::DecodeProfile;
+use proptest::prelude::*;
+use tdpipe_model::LayerWork;
+
+fn arb_work() -> impl Strategy<Value = LayerWork> {
+    (1u64..8192, 1e6f64..1e13, 1e3f64..1e11).prop_map(|(tokens, flops, bytes)| LayerWork {
+        flops,
+        weight_bytes: bytes * 0.5,
+        kv_read_bytes: bytes * 0.3,
+        kv_write_bytes: bytes * 0.1,
+        act_bytes: bytes * 0.1,
+        tokens,
+    })
+}
+
+proptest! {
+    #[test]
+    fn layer_time_positive_and_floored_by_launch(w in arb_work()) {
+        for gpu in [GpuSpec::l20(), GpuSpec::a100()] {
+            let k = KernelModel::calibrated(gpu);
+            let t = k.layer_time(&w);
+            prop_assert!(t >= k.launch_overhead);
+            prop_assert!(t.is_finite());
+        }
+    }
+
+    #[test]
+    fn layer_time_monotone_in_work(w in arb_work(), scale in 1.1f64..4.0) {
+        let k = KernelModel::calibrated(GpuSpec::l20());
+        let mut bigger = w;
+        bigger.flops *= scale;
+        bigger.weight_bytes *= scale;
+        bigger.kv_read_bytes *= scale;
+        bigger.kv_write_bytes *= scale;
+        bigger.act_bytes *= scale;
+        prop_assert!(k.layer_time(&bigger) >= k.layer_time(&w));
+    }
+
+    #[test]
+    fn tp_sharding_never_slower_than_serial_fraction(w in arb_work(), deg in 2u32..8) {
+        // Sharding divides work by `deg` but loses efficiency; the result
+        // must stay between t/deg (ideal) and t (no benefit), modulo the
+        // constant launch overhead.
+        let k = KernelModel::calibrated(GpuSpec::a100());
+        let t1 = k.layer_time_tp(&w, 1) - k.launch_overhead;
+        let td = k.layer_time_tp(&w, deg) - k.launch_overhead;
+        prop_assert!(td <= t1 + 1e-12);
+        prop_assert!(td + 1e-12 >= t1 / deg as f64);
+    }
+
+    #[test]
+    fn allreduce_monotone(bytes in 1u64..1_000_000_000, n in 2u32..8) {
+        let ic = Interconnect::pcie_l20_node();
+        let t = ic.allreduce_time(bytes, n);
+        prop_assert!(t > 0.0);
+        // More ranks => more latency hops.
+        prop_assert!(ic.allreduce_time(bytes, n + 1) >= t);
+        // More bytes => more time.
+        prop_assert!(ic.allreduce_time(bytes + 1024, n) >= t);
+        // Contention can only slow it down.
+        prop_assert!(ic.allreduce_time_contended(bytes, n) >= t);
+    }
+
+    #[test]
+    fn decode_profile_intensity_in_unit_range(max_batch in 2usize..1024) {
+        let k = KernelModel::calibrated(GpuSpec::l20());
+        let m = tdpipe_model::ModelSpec::llama2_13b();
+        let p = DecodeProfile::build(max_batch, |b| {
+            k.stage_time(&m.decode_layer_work(b, b as u64 * 200), m.layers, &[])
+        });
+        for b in [0usize, 1, max_batch / 2, max_batch, max_batch * 2] {
+            let i = p.spatial_intensity(b);
+            prop_assert!((0.0..=1.0).contains(&i), "batch {b}: {i}");
+        }
+        prop_assert!((p.spatial_intensity(max_batch * 4) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,313 @@
+//! The paged block allocator.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Errors the allocator can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Not enough free blocks for the requested growth.
+    OutOfMemory {
+        /// Blocks the operation needed.
+        needed: u64,
+        /// Blocks currently free.
+        available: u64,
+    },
+    /// `allocate` called twice for the same request.
+    DuplicateRequest(u64),
+    /// `extend`/`free`/`tokens_of` called for an unknown request.
+    UnknownRequest(u64),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::OutOfMemory { needed, available } => {
+                write!(f, "out of KV blocks: need {needed}, have {available}")
+            }
+            KvError::DuplicateRequest(id) => write!(f, "request {id} already allocated"),
+            KvError::UnknownRequest(id) => write!(f, "request {id} not allocated"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Per-request residency record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Residency {
+    tokens: u64,
+    blocks: u64,
+}
+
+/// A fixed pool of KV blocks with per-request accounting.
+///
+/// `block_size` tokens fit in one block; a request holding `t` tokens owns
+/// `ceil(t / block_size)` blocks (the trailing block is partially filled,
+/// exactly like paged attention). All operations are O(1) amortised.
+///
+/// ```
+/// use tdpipe_kvcache::BlockAllocator;
+///
+/// let mut pool = BlockAllocator::new(100, 16);
+/// pool.allocate(1, 300).unwrap();   // prefill: 19 blocks
+/// pool.extend(1, 1).unwrap();       // one decode step
+/// assert_eq!(pool.tokens_of(1).unwrap(), 301);
+/// assert_eq!(pool.free(1).unwrap(), 301);
+/// assert_eq!(pool.occupancy(), 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockAllocator {
+    block_size: u32,
+    num_blocks: u64,
+    used_blocks: u64,
+    residents: HashMap<u64, Residency>,
+}
+
+impl BlockAllocator {
+    /// A pool of `num_blocks` blocks of `block_size` tokens.
+    ///
+    /// # Panics
+    /// Panics if `block_size == 0`.
+    pub fn new(num_blocks: u64, block_size: u32) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        BlockAllocator {
+            block_size,
+            num_blocks,
+            used_blocks: 0,
+            residents: HashMap::new(),
+        }
+    }
+
+    /// Tokens per block.
+    #[inline]
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// Pool size in blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    /// Blocks currently allocated.
+    #[inline]
+    pub fn used_blocks(&self) -> u64 {
+        self.used_blocks
+    }
+
+    /// Blocks currently free.
+    #[inline]
+    pub fn free_blocks(&self) -> u64 {
+        self.num_blocks - self.used_blocks
+    }
+
+    /// Used fraction of the pool in `[0, 1]` — Figure 12's y-axis.
+    pub fn occupancy(&self) -> f64 {
+        if self.num_blocks == 0 {
+            return 1.0;
+        }
+        self.used_blocks as f64 / self.num_blocks as f64
+    }
+
+    /// Number of resident requests.
+    #[inline]
+    pub fn num_residents(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Total tokens resident across requests.
+    pub fn resident_tokens(&self) -> u64 {
+        self.residents.values().map(|r| r.tokens).sum()
+    }
+
+    fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(self.block_size as u64)
+    }
+
+    /// Whether a new request of `tokens` tokens would fit right now.
+    pub fn can_allocate(&self, tokens: u64) -> bool {
+        self.blocks_for(tokens) <= self.free_blocks()
+    }
+
+    /// Admit a request with `tokens` tokens (its prompt after prefill).
+    pub fn allocate(&mut self, id: u64, tokens: u64) -> Result<(), KvError> {
+        if self.residents.contains_key(&id) {
+            return Err(KvError::DuplicateRequest(id));
+        }
+        let needed = self.blocks_for(tokens);
+        let available = self.free_blocks();
+        if needed > available {
+            return Err(KvError::OutOfMemory { needed, available });
+        }
+        self.used_blocks += needed;
+        self.residents.insert(
+            id,
+            Residency {
+                tokens,
+                blocks: needed,
+            },
+        );
+        Ok(())
+    }
+
+    /// Append `additional` tokens to a resident request (one decode step
+    /// appends 1). Allocates a new block only when the trailing block
+    /// overflows. On `OutOfMemory` the request is left unchanged.
+    pub fn extend(&mut self, id: u64, additional: u64) -> Result<(), KvError> {
+        let r = self
+            .residents
+            .get(&id)
+            .copied()
+            .ok_or(KvError::UnknownRequest(id))?;
+        let new_blocks = self.blocks_for(r.tokens + additional);
+        let extra = new_blocks - r.blocks;
+        if extra > self.free_blocks() {
+            return Err(KvError::OutOfMemory {
+                needed: extra,
+                available: self.free_blocks(),
+            });
+        }
+        self.used_blocks += extra;
+        let r = self.residents.get_mut(&id).expect("checked above");
+        r.tokens += additional;
+        r.blocks = new_blocks;
+        Ok(())
+    }
+
+    /// Release a request's blocks (completion, or recompute-eviction).
+    /// Returns the number of tokens that were resident.
+    pub fn free(&mut self, id: u64) -> Result<u64, KvError> {
+        let r = self
+            .residents
+            .remove(&id)
+            .ok_or(KvError::UnknownRequest(id))?;
+        self.used_blocks -= r.blocks;
+        Ok(r.tokens)
+    }
+
+    /// Tokens currently resident for `id`.
+    pub fn tokens_of(&self, id: u64) -> Result<u64, KvError> {
+        self.residents
+            .get(&id)
+            .map(|r| r.tokens)
+            .ok_or(KvError::UnknownRequest(id))
+    }
+
+    /// Whether `id` is resident.
+    pub fn contains(&self, id: u64) -> bool {
+        self.residents.contains_key(&id)
+    }
+
+    /// Internal fragmentation: bytes-equivalent tokens of slack in the
+    /// trailing partially-filled block of every resident, as a fraction of
+    /// used capacity. Paged attention bounds this by
+    /// `(block_size − 1) / tokens_per_request`.
+    pub fn fragmentation(&self) -> f64 {
+        let used_tokens = self.used_blocks * self.block_size as u64;
+        if used_tokens == 0 {
+            return 0.0;
+        }
+        let resident = self.resident_tokens();
+        (used_tokens - resident) as f64 / used_tokens as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_extend_free_roundtrip() {
+        let mut a = BlockAllocator::new(10, 16);
+        a.allocate(1, 17).unwrap(); // 2 blocks
+        assert_eq!(a.used_blocks(), 2);
+        assert_eq!(a.tokens_of(1).unwrap(), 17);
+
+        // 15 more tokens fill block 2 exactly (32 total): no new block.
+        a.extend(1, 15).unwrap();
+        assert_eq!(a.used_blocks(), 2);
+        // One more token opens block 3.
+        a.extend(1, 1).unwrap();
+        assert_eq!(a.used_blocks(), 3);
+
+        assert_eq!(a.free(1).unwrap(), 33);
+        assert_eq!(a.used_blocks(), 0);
+        assert_eq!(a.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn out_of_memory_is_clean() {
+        let mut a = BlockAllocator::new(2, 16);
+        a.allocate(1, 16).unwrap();
+        let err = a.allocate(2, 17).unwrap_err();
+        assert_eq!(
+            err,
+            KvError::OutOfMemory {
+                needed: 2,
+                available: 1
+            }
+        );
+        // Failed allocation leaves no residue.
+        assert_eq!(a.used_blocks(), 1);
+        assert!(!a.contains(2));
+    }
+
+    #[test]
+    fn failed_extend_leaves_request_intact() {
+        let mut a = BlockAllocator::new(1, 4);
+        a.allocate(1, 4).unwrap();
+        let err = a.extend(1, 1).unwrap_err();
+        assert!(matches!(err, KvError::OutOfMemory { .. }));
+        assert_eq!(a.tokens_of(1).unwrap(), 4);
+        assert_eq!(a.used_blocks(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids() {
+        let mut a = BlockAllocator::new(10, 16);
+        a.allocate(1, 1).unwrap();
+        assert_eq!(a.allocate(1, 1).unwrap_err(), KvError::DuplicateRequest(1));
+        assert_eq!(a.extend(9, 1).unwrap_err(), KvError::UnknownRequest(9));
+        assert_eq!(a.free(9).unwrap_err(), KvError::UnknownRequest(9));
+    }
+
+    #[test]
+    fn zero_token_allocation_uses_no_blocks() {
+        let mut a = BlockAllocator::new(4, 16);
+        a.allocate(1, 0).unwrap();
+        assert_eq!(a.used_blocks(), 0);
+        assert!(a.contains(1));
+        a.extend(1, 1).unwrap();
+        assert_eq!(a.used_blocks(), 1);
+    }
+
+    #[test]
+    fn occupancy_of_empty_pool_is_full() {
+        let a = BlockAllocator::new(0, 16);
+        assert_eq!(a.occupancy(), 1.0);
+        assert!(!a.can_allocate(1));
+        assert!(a.can_allocate(0));
+    }
+
+    #[test]
+    fn fragmentation_is_trailing_block_slack() {
+        let mut a = BlockAllocator::new(100, 16);
+        assert_eq!(a.fragmentation(), 0.0);
+        a.allocate(1, 17).unwrap(); // 2 blocks = 32 token-slots, 17 used
+        assert!((a.fragmentation() - 15.0 / 32.0).abs() < 1e-12);
+        a.extend(1, 15).unwrap(); // exactly fills both blocks
+        assert_eq!(a.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn resident_tokens_tracks_sum() {
+        let mut a = BlockAllocator::new(100, 16);
+        a.allocate(1, 10).unwrap();
+        a.allocate(2, 20).unwrap();
+        a.extend(2, 5).unwrap();
+        assert_eq!(a.resident_tokens(), 35);
+        assert_eq!(a.num_residents(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Occupancy time series (the data behind paper Figure 12).
+
+use serde::{Deserialize, Serialize};
+
+/// Which phase the engine was in when a sample was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Prefill phase (occupancy grows as prompts are admitted).
+    Prefill,
+    /// Decode phase (occupancy grows per step, saturates, then declines as
+    /// requests complete).
+    Decode,
+}
+
+impl Phase {
+    /// Short label for exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Phase::Prefill => "prefill",
+            Phase::Decode => "decode",
+        }
+    }
+}
+
+/// One `(time, occupancy, phase)` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupancySample {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// KV-pool used fraction in `[0, 1]`.
+    pub occupancy: f64,
+    /// Engine phase at sampling time.
+    pub phase: Phase,
+}
+
+/// An append-only occupancy trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OccupancyTrace {
+    samples: Vec<OccupancySample>,
+}
+
+impl OccupancyTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample (times should be non-decreasing; enforced in debug).
+    pub fn push(&mut self, time: f64, occupancy: f64, phase: Phase) {
+        debug_assert!(
+            self.samples.last().is_none_or(|s| time >= s.time),
+            "occupancy samples must be time-ordered"
+        );
+        self.samples.push(OccupancySample {
+            time,
+            occupancy,
+            phase,
+        });
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[OccupancySample] {
+        &self.samples
+    }
+
+    /// Highest occupancy observed.
+    pub fn peak(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.occupancy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of contiguous phase runs (a proxy for phase switches: Fig. 12
+    /// alternates prefill/decode bands).
+    pub fn phase_runs(&self) -> usize {
+        let mut runs = 0;
+        let mut last: Option<Phase> = None;
+        for s in &self.samples {
+            if last != Some(s.phase) {
+                runs += 1;
+                last = Some(s.phase);
+            }
+        }
+        runs
+    }
+
+    /// CSV export: `time,occupancy,phase`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,occupancy,phase\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.6},{:.4},{}\n",
+                s.time,
+                s.occupancy,
+                s.phase.label()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_and_runs() {
+        let mut t = OccupancyTrace::new();
+        t.push(0.0, 0.1, Phase::Prefill);
+        t.push(1.0, 0.8, Phase::Prefill);
+        t.push(2.0, 0.95, Phase::Decode);
+        t.push(3.0, 0.5, Phase::Decode);
+        t.push(4.0, 0.7, Phase::Prefill);
+        assert_eq!(t.phase_runs(), 3);
+        assert!((t.peak() - 0.95).abs() < 1e-12);
+        assert_eq!(t.samples().len(), 5);
+    }
+
+    #[test]
+    fn csv_header() {
+        let mut t = OccupancyTrace::new();
+        t.push(0.5, 0.25, Phase::Decode);
+        assert!(t.to_csv().starts_with("time,occupancy,phase\n0.500000,0.2500,decode"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = OccupancyTrace::new();
+        assert_eq!(t.peak(), 0.0);
+        assert_eq!(t.phase_runs(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Numeric precision of weights, activations, and KV cache.
+
+use serde::{Deserialize, Serialize};
+
+/// Element precision used for weights, activations and KV cache.
+///
+/// The paper evaluates FP16 (Llama2) and BF16 (Qwen2.5); both are two bytes
+/// per element, but we keep the distinction so reports can echo Table 2
+/// faithfully and so FP32 reference configurations are expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE-754 half precision (Llama2 family in the paper).
+    Fp16,
+    /// bfloat16 (Qwen2.5 family in the paper).
+    Bf16,
+    /// IEEE-754 single precision; not used in the paper's evaluation but
+    /// useful for validation configurations.
+    Fp32,
+}
+
+impl Precision {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Precision::Fp16 | Precision::Bf16 => 2,
+            Precision::Fp32 => 4,
+        }
+    }
+
+    /// Human-readable name matching the paper's Table 2 ("FP16" / "BF16").
+    pub const fn name(self) -> &'static str {
+        match self {
+            Precision::Fp16 => "FP16",
+            Precision::Bf16 => "BF16",
+            Precision::Fp32 => "FP32",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_precisions_are_two_bytes() {
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Bf16.bytes(), 2);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn names_match_table2() {
+        assert_eq!(Precision::Fp16.to_string(), "FP16");
+        assert_eq!(Precision::Bf16.to_string(), "BF16");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests over the analytical model math.
+
+use crate::partition::PipelinePartition;
+use crate::precision::Precision;
+use crate::spec::ModelSpec;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ModelSpec> {
+    (
+        2u32..=96,            // layers
+        1u64..=64,            // hidden multiplier (x128)
+        prop::sample::select(vec![1u32, 2, 4, 8, 16, 32, 64]), // heads
+        1u64..=8,             // intermediate multiplier of hidden
+        1000u64..=200_000,    // vocab
+        prop::sample::select(vec![Precision::Fp16, Precision::Bf16, Precision::Fp32]),
+    )
+        .prop_flat_map(|(layers, hm, heads, im, vocab, precision)| {
+            let hidden = hm * 128 * heads as u64 / heads as u64 * heads as u64; // multiple of heads
+            let kv_choices: Vec<u32> = (0..=5u32)
+                .map(|k| 1 << k)
+                .filter(|&k| k <= heads && heads % k == 0)
+                .collect();
+            prop::sample::select(kv_choices).prop_map(move |kv_heads| ModelSpec {
+                name: "prop".into(),
+                layers,
+                hidden,
+                heads,
+                kv_heads,
+                intermediate: im * hidden,
+                vocab,
+                precision,
+            })
+        })
+}
+
+proptest! {
+    #[test]
+    fn partition_conserves_layers_weights_and_kv(m in arb_model(), n in 1u32..=8) {
+        prop_assume!(n <= m.layers);
+        let p = PipelinePartition::balanced(&m, n);
+        let layer_sum: u32 = p.stages().iter().map(|s| s.layer_count).sum();
+        prop_assert_eq!(layer_sum, m.layers);
+        let w_sum: u64 = (0..n).map(|s| p.stage_weight_bytes(&m, s)).sum();
+        prop_assert_eq!(w_sum, m.weight_bytes());
+        let kv_sum: u64 = (0..n).map(|s| p.stage_kv_bytes_per_token(&m, s)).sum();
+        prop_assert_eq!(kv_sum, m.kv_bytes_per_token());
+    }
+
+    #[test]
+    fn prefill_work_is_monotone_in_tokens(m in arb_model(), a in 1u32..2048, b in 1u32..2048) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let wl = m.prefill_layer_work(&[lo]);
+        let wh = m.prefill_layer_work(&[hi]);
+        prop_assert!(wh.flops >= wl.flops);
+        prop_assert!(wh.total_bytes() >= wl.total_bytes());
+    }
+
+    #[test]
+    fn decode_work_is_monotone_in_batch(m in arb_model(), b in 1usize..512, extra in 1usize..64) {
+        let ctx_per = 200u64;
+        let small = m.decode_layer_work(b, b as u64 * ctx_per);
+        let large = m.decode_layer_work(b + extra, (b + extra) as u64 * ctx_per);
+        prop_assert!(large.flops > small.flops);
+        prop_assert!(large.total_bytes() > small.total_bytes());
+        // Weight streaming identical regardless of batch.
+        prop_assert!((large.weight_bytes - small.weight_bytes).abs() < 1.0);
+    }
+
+    #[test]
+    fn chunking_preserves_kv_writes(m in arb_model(), total in 64u32..1024, chunk in 16u32..256) {
+        let whole = m.prefill_layer_work(&[total]);
+        let mut written = 0.0;
+        let mut done = 0u32;
+        while done < total {
+            let c = chunk.min(total - done);
+            written += m.chunk_layer_work(c, done).kv_write_bytes;
+            done += c;
+        }
+        prop_assert!((written - whole.kv_write_bytes).abs() < 1.0);
+    }
+
+    #[test]
+    fn batched_prefill_equals_sum_of_singles(m in arb_model(), lens in prop::collection::vec(1u32..512, 1..8)) {
+        let batched = m.prefill_layer_work(&lens);
+        let mut flops = 0.0;
+        for &l in &lens {
+            flops += m.prefill_layer_work(&[l]).flops;
+        }
+        // Linear + attention FLOPs are additive over sequences.
+        prop_assert!((batched.flops - flops).abs() / flops.max(1.0) < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! The shared CPU↔GPU host link and multi-replica contention.
+
+use serde::{Deserialize, Serialize};
+
+/// The host-memory link of one node (paper Fig. 4's architecture: several
+/// GPUs behind one PCIe switch and one CPU root complex).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostLink {
+    /// Bandwidth one GPU achieves on the host link when alone, bytes/s
+    /// (PCIe Gen4 ×16 ≈ 25 GB/s raw, ~20 GB/s effective for pinned-memory
+    /// DMA).
+    pub per_gpu_bw: f64,
+    /// Aggregate bandwidth the CPU root complex sustains across all GPUs,
+    /// bytes/s. Commodity single-socket boards cannot feed four ×16 links
+    /// at once — this is the §2.2.2 bottleneck.
+    pub aggregate_bw: f64,
+}
+
+impl HostLink {
+    /// A typical single-socket PCIe Gen4 host: each GPU sees ~20 GB/s
+    /// alone, but the root complex tops out near 36 GB/s total.
+    pub fn commodity_gen4() -> Self {
+        HostLink {
+            per_gpu_bw: 20.0e9,
+            aggregate_bw: 36.0e9,
+        }
+    }
+
+    /// An idealised host with no aggregate cap (what offloading papers
+    /// implicitly assume when they evaluate on one GPU).
+    pub fn uncontended() -> Self {
+        HostLink {
+            per_gpu_bw: 20.0e9,
+            aggregate_bw: f64::INFINITY,
+        }
+    }
+
+    /// Effective host-link bandwidth per GPU when `active` replicas stream
+    /// simultaneously.
+    pub fn effective_bw(&self, active: u32) -> f64 {
+        if active == 0 {
+            return self.per_gpu_bw;
+        }
+        self.per_gpu_bw.min(self.aggregate_bw / active as f64)
+    }
+}
+
+/// Outcome of running `replicas` independent offloading instances on one
+/// node (data parallelism: the workload is split evenly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeOffloadRun {
+    /// Number of single-GPU replicas.
+    pub replicas: u32,
+    /// Makespan of the slowest replica (the node is done when all are).
+    pub makespan: f64,
+    /// Aggregate node throughput in total tokens/s.
+    pub throughput_total: f64,
+    /// Effective per-GPU host bandwidth during the run.
+    pub effective_bw: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_divides_bandwidth() {
+        let link = HostLink::commodity_gen4();
+        assert_eq!(link.effective_bw(1), 20.0e9);
+        // Two GPUs still fit under the aggregate cap (36/2 = 18 < 20).
+        assert_eq!(link.effective_bw(2), 18.0e9);
+        // Four GPUs: 9 GB/s each — less than half of solo bandwidth.
+        assert_eq!(link.effective_bw(4), 9.0e9);
+    }
+
+    #[test]
+    fn uncontended_link_never_degrades() {
+        let link = HostLink::uncontended();
+        assert_eq!(link.effective_bw(1), link.effective_bw(8));
+    }
+
+    #[test]
+    fn zero_active_is_solo() {
+        let link = HostLink::commodity_gen4();
+        assert_eq!(link.effective_bw(0), link.per_gpu_bw);
+    }
+}

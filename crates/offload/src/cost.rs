@@ -1,0 +1,112 @@
+//! Step pricing when the KV cache lives in host memory.
+
+use tdpipe_hw::KernelModel;
+use tdpipe_model::ModelSpec;
+
+/// Cost model for a single-GPU instance that keeps weights in HBM and the
+/// KV cache in host memory.
+///
+/// Every decode step must read the whole context's K/V from the host and
+/// write the new token's K/V back. Offloading systems double-buffer: the
+/// transfer of layer `l+1`'s KV overlaps layer `l`'s compute, so a step
+/// costs `max(gpu_time, host_transfer_time)` plus one un-overlappable
+/// layer of transfer. Prefill writes its produced KV back to the host but
+/// is compute-bound, so the write-back usually hides.
+#[derive(Debug, Clone)]
+pub struct OffloadCost {
+    model: ModelSpec,
+    kernel: KernelModel,
+}
+
+impl OffloadCost {
+    /// Price steps for `model` on the device described by `kernel`.
+    pub fn new(model: ModelSpec, kernel: KernelModel) -> Self {
+        OffloadCost { model, kernel }
+    }
+
+    /// The model being priced.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// GPU-side time of one decode step (KV reads excluded — they come
+    /// from the host link).
+    fn decode_gpu_time(&self, batch: usize, total_ctx: u64) -> f64 {
+        let mut w = self.model.decode_layer_work(batch, total_ctx);
+        // KV is not read from HBM; it is streamed over PCIe instead. The
+        // GPU still writes the incoming tiles once (charged as act bytes).
+        w.act_bytes += w.kv_read_bytes;
+        w.kv_read_bytes = 0.0;
+        self.kernel.stage_time(&w, self.model.layers, &[self.model.lm_head_work(batch as u64)])
+    }
+
+    /// Host-link bytes one decode step moves: the whole resident context's
+    /// K/V down, plus the step's new K/V up.
+    pub fn decode_host_bytes(&self, batch: usize, total_ctx: u64) -> f64 {
+        let kv_tok = self.model.kv_bytes_per_token() as f64;
+        (total_ctx as f64 + batch as f64) * kv_tok
+    }
+
+    /// Wall time of one decode step at `host_bw` bytes/s of effective
+    /// host-link bandwidth.
+    pub fn decode_time(&self, batch: usize, total_ctx: u64, host_bw: f64) -> f64 {
+        let gpu = self.decode_gpu_time(batch, total_ctx);
+        let xfer = self.decode_host_bytes(batch, total_ctx) / host_bw;
+        // Double-buffered overlap with one non-overlappable layer's worth
+        // of transfer exposed.
+        gpu.max(xfer) + xfer / self.model.layers as f64
+    }
+
+    /// Wall time of one prefill batch; produced KV streams back to the
+    /// host, overlapped with the compute-bound prefill.
+    pub fn prefill_time(&self, seq_lens: &[u32], host_bw: f64) -> f64 {
+        let w = self.model.prefill_layer_work(seq_lens);
+        let gpu = self
+            .kernel
+            .stage_time(&w, self.model.layers, &[self.model.lm_head_work(seq_lens.len() as u64)]);
+        let tokens: u64 = seq_lens.iter().map(|&s| s as u64).sum();
+        let writeback = tokens as f64 * self.model.kv_bytes_per_token() as f64 / host_bw;
+        gpu.max(writeback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdpipe_hw::GpuSpec;
+
+    fn cost() -> OffloadCost {
+        OffloadCost::new(
+            ModelSpec::llama2_13b(),
+            KernelModel::calibrated(GpuSpec::l20()),
+        )
+    }
+
+    #[test]
+    fn decode_is_host_link_bound_at_realistic_bandwidth() {
+        let c = cost();
+        // 256 requests, 300-token contexts: 76,800 tokens of KV ≈ 63 GB
+        // per step — hopeless at 20 GB/s, which is the whole point.
+        let t20 = c.decode_time(256, 256 * 300, 20.0e9);
+        let t_inf = c.decode_time(256, 256 * 300, 1e15);
+        assert!(t20 > 5.0 * t_inf, "t20={t20} t_inf={t_inf}");
+    }
+
+    #[test]
+    fn decode_time_scales_inversely_with_bandwidth() {
+        let c = cost();
+        let t_full = c.decode_time(128, 128 * 300, 20.0e9);
+        let t_quarter = c.decode_time(128, 128 * 300, 5.0e9);
+        let ratio = t_quarter / t_full;
+        assert!((3.5..4.5).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn prefill_mostly_hides_writeback() {
+        let c = cost();
+        let fast = c.prefill_time(&[1024; 4], 20.0e9);
+        let infinite = c.prefill_time(&[1024; 4], 1e15);
+        // Write-back at 20 GB/s costs at most a few tens of percent.
+        assert!(fast < 2.1 * infinite, "fast={fast} inf={infinite}");
+    }
+}

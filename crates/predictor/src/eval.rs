@@ -1,0 +1,229 @@
+//! Predictor evaluation: single-request accuracy (§4.4.1) and the
+//! accumulated group error of Figure 14.
+
+use crate::predictor::{LengthPredictor, OutputLenPredictor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tdpipe_workload::Trace;
+
+/// Single-request bucket classification accuracy on a test trace — the
+/// 0.5214 / 0.5805 / 0.5234 numbers of §4.4.1.
+pub fn accuracy(predictor: &LengthPredictor, test: &Trace) -> f64 {
+    assert!(!test.is_empty(), "empty test trace");
+    let correct = test
+        .requests()
+        .iter()
+        .filter(|r| predictor.predict_bucket(r) == predictor.true_bucket(r))
+        .count();
+    correct as f64 / test.len() as f64
+}
+
+/// Result of one accumulated-error evaluation group size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccumulatedErrorPoint {
+    /// Requests per group.
+    pub group_size: usize,
+    /// Mean over groups of `|Σ predicted − Σ actual| / Σ actual`.
+    pub mean_relative_error: f64,
+}
+
+/// The accumulated prediction error of Figure 14: partition a shuffled test
+/// set into groups of `group_size`, predict each request, and average the
+/// relative error of the *summed* lengths per group.
+///
+/// Individual over- and under-estimates cancel inside a group, so the error
+/// shrinks as groups grow — the property that makes Algorithm 1's total-KV
+/// simulation trustworthy despite ~50% single-request accuracy.
+pub fn accumulated_error<P: OutputLenPredictor>(
+    predictor: &P,
+    test: &Trace,
+    group_size: usize,
+    seed: u64,
+) -> AccumulatedErrorPoint {
+    assert!(group_size >= 1, "group size must be positive");
+    assert!(
+        test.len() >= group_size,
+        "test trace smaller than one group"
+    );
+    let mut order: Vec<usize> = (0..test.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let reqs = test.requests();
+    let mut errors = Vec::new();
+    for group in order.chunks_exact(group_size) {
+        let mut pred_sum = 0.0;
+        let mut actual_sum = 0.0;
+        for &i in group {
+            pred_sum += predictor.predict(&reqs[i]) as f64;
+            actual_sum += reqs[i].output_len as f64;
+        }
+        errors.push((pred_sum - actual_sum).abs() / actual_sum);
+    }
+    AccumulatedErrorPoint {
+        group_size,
+        mean_relative_error: errors.iter().sum::<f64>() / errors.len() as f64,
+    }
+}
+
+/// Bucket-level confusion matrix (rows = true bucket, columns = predicted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+    total: u64,
+}
+
+impl ConfusionMatrix {
+    /// Tabulate a predictor over a test trace.
+    pub fn compute(predictor: &LengthPredictor, test: &Trace) -> Self {
+        let k = predictor.buckets().num_buckets();
+        let mut counts = vec![vec![0u64; k]; k];
+        for r in test.requests() {
+            counts[predictor.true_bucket(r)][predictor.predict_bucket(r)] += 1;
+        }
+        ConfusionMatrix {
+            counts,
+            total: test.len() as u64,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Overall accuracy (trace of the matrix over the total).
+    pub fn accuracy(&self) -> f64 {
+        let diag: u64 = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        diag as f64 / self.total.max(1) as f64
+    }
+
+    /// Recall of one true bucket (diag / row sum); 0 for empty buckets.
+    pub fn recall(&self, bucket: usize) -> f64 {
+        let row: u64 = self.counts[bucket].iter().sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.counts[bucket][bucket] as f64 / row as f64
+        }
+    }
+
+    /// Precision of one predicted bucket (diag / column sum); 0 if never
+    /// predicted.
+    pub fn precision(&self, bucket: usize) -> f64 {
+        let col: u64 = self.counts.iter().map(|r| r[bucket]).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.counts[bucket][bucket] as f64 / col as f64
+        }
+    }
+
+    /// Raw counts (rows = true, columns = predicted).
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "true\\pred {}", (0..self.num_buckets()).map(|i| format!("{i:>7}")).collect::<String>())?;
+        for (i, row) in self.counts.iter().enumerate() {
+            write!(f, "{i:>9} ")?;
+            for &c in row {
+                write!(f, "{c:>7}")?;
+            }
+            writeln!(f, "   recall {:.2}", self.recall(i))?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweep the Figure 14 group sizes (1, 2, 4, …, `max_group`).
+pub fn accumulated_error_sweep<P: OutputLenPredictor>(
+    predictor: &P,
+    test: &Trace,
+    max_group: usize,
+    seed: u64,
+) -> Vec<AccumulatedErrorPoint> {
+    let mut out = Vec::new();
+    let mut g = 1;
+    while g <= max_group && g <= test.len() {
+        out.push(accumulated_error(predictor, test, g, seed));
+        g *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::TrainConfig;
+    use crate::predictor::OraclePredictor;
+    use tdpipe_workload::ShareGptLikeConfig;
+
+    fn fitted() -> (LengthPredictor, Trace) {
+        let trace = ShareGptLikeConfig::small(12_000, 23).generate();
+        let splits = trace.split(23);
+        let cfg = TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        };
+        (LengthPredictor::train(&splits.train, &cfg), splits.test)
+    }
+
+    #[test]
+    fn oracle_has_zero_accumulated_error() {
+        let trace = ShareGptLikeConfig::small(1_000, 2).generate();
+        let e = accumulated_error(&OraclePredictor, &trace, 64, 0);
+        assert_eq!(e.mean_relative_error, 0.0);
+    }
+
+    #[test]
+    fn accumulated_error_shrinks_with_group_size() {
+        let (p, test) = fitted();
+        let sweep = accumulated_error_sweep(&p, &test, 256, 7);
+        let first = sweep.first().unwrap().mean_relative_error;
+        let last = sweep.last().unwrap().mean_relative_error;
+        assert!(
+            last < first / 2.0,
+            "error should shrink: {first:.4} -> {last:.4}"
+        );
+        // Paper reports 2.8–6.2% at 256 requests; allow a loose band.
+        assert!(last < 0.15, "256-group error too large: {last:.4}");
+    }
+
+    #[test]
+    fn accuracy_is_a_probability() {
+        let (p, test) = fitted();
+        let a = accuracy(&p, &test);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn confusion_matrix_is_consistent_with_accuracy() {
+        let (p, test) = fitted();
+        let m = ConfusionMatrix::compute(&p, &test);
+        let a = accuracy(&p, &test);
+        assert!((m.accuracy() - a).abs() < 1e-12);
+        // Counts sum to the trace size.
+        let total: u64 = m.counts().iter().flatten().sum();
+        assert_eq!(total as usize, test.len());
+        // Recalls and precisions are probabilities.
+        for b in 0..m.num_buckets() {
+            assert!((0.0..=1.0).contains(&m.recall(b)));
+            assert!((0.0..=1.0).contains(&m.precision(b)));
+        }
+        // Display renders.
+        assert!(m.to_string().contains("recall"));
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_panics() {
+        let trace = ShareGptLikeConfig::small(10, 1).generate();
+        accumulated_error(&OraclePredictor, &trace, 0, 0);
+    }
+}

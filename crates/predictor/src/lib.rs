@@ -1,0 +1,30 @@
+//! Output-length prediction for the AI-based greedy prefill (paper §3.3).
+//!
+//! The paper follows µ-Serve: a BERT-based multi-class classifier maps each
+//! prompt to a *percentile bucket* of the historical output-length
+//! distribution — `[P0,P25), [P25,P50), [P50,P75), [P75,P90), [P90,P99),
+//! [P99,+)` — and the predicted length is the training-set mean of the
+//! winning bucket. BERT itself is a gated dependency; its role here is
+//! played by a from-scratch **multinomial logistic regression** over the
+//! prompt feature vectors the workload generator attaches to every request
+//! (the `[CLS]`-embedding stand-in). The workload's feature noise is
+//! calibrated so test accuracy lands near the paper's 0.52–0.58.
+//!
+//! What the scheduler actually consumes:
+//!
+//! * [`LengthPredictor::predict`] — a length estimate per request,
+//! * [`eval::accuracy`] — single-request bucket accuracy (§4.4.1),
+//! * [`eval::accumulated_error`] — the group-wise relative error of the
+//!   *summed* predictions (paper Fig. 14), the quantity that actually
+//!   bounds Algorithm 1's memory-usage simulation error.
+
+pub mod buckets;
+pub mod classifier;
+pub mod eval;
+pub mod naive_bayes;
+pub mod predictor;
+
+pub use buckets::PercentileBuckets;
+pub use classifier::SoftmaxClassifier;
+pub use naive_bayes::GaussianNbClassifier;
+pub use predictor::{LengthPredictor, MeanPredictor, NbLengthPredictor, OraclePredictor, OutputLenPredictor};

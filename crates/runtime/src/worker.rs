@@ -1,0 +1,122 @@
+//! The execution-plane worker: one thread per pipeline stage.
+
+use crate::comm::{CommContext, Completion, StageMsg, StartAck};
+use crossbeam::channel::{Receiver, Sender};
+use tdpipe_sim::{SegmentKind, TransferMode};
+
+/// Per-worker activity record (mirrors the simulator's timeline segments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerSegment {
+    /// Job id.
+    pub job: u64,
+    /// Virtual start time on this stage.
+    pub start: f64,
+    /// Virtual end time on this stage.
+    pub end: f64,
+    /// Activity class.
+    pub kind: SegmentKind,
+}
+
+/// Channel endpoints a worker owns.
+pub struct WorkerChannels {
+    /// Jobs arriving from upstream (engine for rank 0).
+    pub inbox: Receiver<StageMsg>,
+    /// Next stage's inbox (None for the last stage).
+    pub downstream: Option<Sender<StageMsg>>,
+    /// Start-acks to the upstream sender (None for rank 0; used only in
+    /// blocking/rendezvous modes).
+    pub ack_tx: Option<Sender<StartAck>>,
+    /// Start-acks from the downstream receiver (None for the last stage;
+    /// used only in blocking/rendezvous modes).
+    pub ack_rx: Option<Receiver<StartAck>>,
+    /// Completions to the engine (last stage only).
+    pub completions: Option<Sender<Completion>>,
+}
+
+/// Run one stage's worker loop until `Shutdown` arrives. Returns the
+/// stage's busy-segment log.
+///
+/// The worker advances a private *virtual clock*: a job arriving at
+/// `arrive` starts at `max(arrive, clock)`, runs for its `exec[rank]`
+/// seconds, then is forwarded downstream with the transfer delay added.
+/// Under [`TransferMode::Async`] the worker moves on immediately — the
+/// hierarchy-controller behaviour; under `Blocking`/`Rendezvous` it waits
+/// for the wire (and, for rendezvous, for the downstream worker to
+/// actually accept), reproducing conventional engines' stalls.
+pub fn run_worker(
+    ctx: CommContext,
+    ch: WorkerChannels,
+    mode: TransferMode,
+) -> Vec<WorkerSegment> {
+    let mut clock = 0.0f64;
+    let mut segments = Vec::new();
+    let r = ctx.rank as usize;
+
+    while let Ok(msg) = ch.inbox.recv() {
+        match msg {
+            StageMsg::Shutdown => {
+                if let Some(d) = &ch.downstream {
+                    d.send(StageMsg::Shutdown).expect("downstream alive");
+                }
+                break;
+            }
+            StageMsg::Job { spec, arrive } => {
+                let start = arrive.max(clock);
+                // Rendezvous: tell the upstream sender when we accepted.
+                if mode == TransferMode::Rendezvous {
+                    if let Some(ack) = &ch.ack_tx {
+                        ack.send(StartAck { started: start }).expect("upstream alive");
+                    }
+                }
+                let finish = start + spec.exec[r];
+                clock = finish;
+                segments.push(WorkerSegment {
+                    job: spec.id,
+                    start,
+                    end: finish,
+                    kind: spec.kind,
+                });
+                if ctx.is_last() {
+                    ch.completions
+                        .as_ref()
+                        .expect("last stage reports completions")
+                        .send(Completion {
+                            id: spec.id,
+                            finish,
+                        })
+                        .expect("engine alive");
+                } else {
+                    let wire = spec.xfer[r];
+                    let arrive_next = finish + wire;
+                    ch.downstream
+                        .as_ref()
+                        .expect("non-last stage has downstream")
+                        .send(StageMsg::Job {
+                            spec,
+                            arrive: arrive_next,
+                        })
+                        .expect("downstream alive");
+                    match mode {
+                        TransferMode::Async => {}
+                        TransferMode::Blocking => {
+                            // Sender occupied for the wire time.
+                            clock = finish + wire;
+                        }
+                        TransferMode::Rendezvous => {
+                            // Sender held until the receiver accepts.
+                            clock = finish + wire;
+                            let ack = ch
+                                .ack_rx
+                                .as_ref()
+                                .expect("rendezvous needs ack channel")
+                                .recv()
+                                .expect("downstream alive");
+                            clock = clock.max(ack.started);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    segments
+}

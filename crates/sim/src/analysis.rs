@@ -1,0 +1,177 @@
+//! Bubble analysis: decompose device idle time by cause.
+//!
+//! The paper's Figure 1 distinguishes bubbles from prefill/decode
+//! interference, inter-batch imbalance, and phase switches. Given a
+//! recorded [`Timeline`], this module extracts every idle gap and
+//! classifies it by the activity kinds surrounding it — `decode→decode`
+//! gaps are dependency/imbalance stalls, `prefill↔decode` boundaries are
+//! phase or interference bubbles, and leading/trailing idle is warm-up or
+//! drain.
+
+use crate::timeline::{SegmentKind, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// One idle interval on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdleGap {
+    /// Device index.
+    pub device: u32,
+    /// Gap start (end of the previous busy segment).
+    pub start: f64,
+    /// Gap end (start of the next busy segment).
+    pub end: f64,
+    /// Activity before the gap (`None` at the run's start).
+    pub before: Option<SegmentKind>,
+    /// Activity after the gap (`None` at the run's end).
+    pub after: Option<SegmentKind>,
+}
+
+impl IdleGap {
+    /// Gap duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Idle time aggregated by cause, across all devices.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BubbleBreakdown {
+    /// Gaps between two decode segments: inter-batch imbalance and
+    /// decode-step dependency stalls (§3.4's target).
+    pub within_decode: f64,
+    /// Gaps between two prefill segments (memory admission stalls).
+    pub within_prefill: f64,
+    /// Gaps at a prefill↔decode boundary: phase-switch bubbles and
+    /// interference (§3.5's target).
+    pub at_phase_boundary: f64,
+    /// Idle before a device's first segment (pipeline warm-up).
+    pub warmup: f64,
+    /// Idle after a device's last segment until the global makespan
+    /// (drain/tail).
+    pub drain: f64,
+    /// Everything else (gaps adjacent to hybrid/comm segments).
+    pub other: f64,
+}
+
+impl BubbleBreakdown {
+    /// Total classified idle seconds.
+    pub fn total(&self) -> f64 {
+        self.within_decode
+            + self.within_prefill
+            + self.at_phase_boundary
+            + self.warmup
+            + self.drain
+            + self.other
+    }
+}
+
+/// Extract the idle gaps of every device (requires segment recording).
+///
+/// Gaps shorter than `min_gap` seconds are ignored (kernel-launch jitter).
+pub fn idle_gaps(timeline: &Timeline, min_gap: f64) -> Vec<IdleGap> {
+    let makespan = timeline.makespan();
+    let mut out = Vec::new();
+    for device in 0..timeline.num_devices() as u32 {
+        let mut segs: Vec<_> = timeline
+            .segments()
+            .iter()
+            .filter(|s| s.device == device)
+            .collect();
+        segs.sort_by(|a, b| a.start.total_cmp(&b.start));
+        let mut cursor = 0.0;
+        let mut before: Option<SegmentKind> = None;
+        for s in &segs {
+            if s.start - cursor > min_gap {
+                out.push(IdleGap {
+                    device,
+                    start: cursor,
+                    end: s.start,
+                    before,
+                    after: Some(s.kind),
+                });
+            }
+            cursor = cursor.max(s.end);
+            before = Some(s.kind);
+        }
+        if makespan - cursor > min_gap {
+            out.push(IdleGap {
+                device,
+                start: cursor,
+                end: makespan,
+                before,
+                after: None,
+            });
+        }
+    }
+    out
+}
+
+/// Classify and aggregate idle time (requires segment recording).
+pub fn bubble_breakdown(timeline: &Timeline, min_gap: f64) -> BubbleBreakdown {
+    let mut b = BubbleBreakdown::default();
+    for g in idle_gaps(timeline, min_gap) {
+        let d = g.duration();
+        match (g.before, g.after) {
+            (None, _) => b.warmup += d,
+            (_, None) => b.drain += d,
+            (Some(SegmentKind::Decode), Some(SegmentKind::Decode)) => b.within_decode += d,
+            (Some(SegmentKind::Prefill), Some(SegmentKind::Prefill)) => b.within_prefill += d,
+            (Some(SegmentKind::Prefill), Some(SegmentKind::Decode))
+            | (Some(SegmentKind::Decode), Some(SegmentKind::Prefill)) => {
+                b.at_phase_boundary += d
+            }
+            _ => b.other += d,
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> Timeline {
+        let mut t = Timeline::new(true);
+        // dev0: warmup [0,1), prefill [1,2), boundary gap [2,3), decode
+        // [3,4), decode gap [4,5), decode [5,6), drain [6,8).
+        t.record(0, 1.0, 2.0, SegmentKind::Prefill, 0);
+        t.record(0, 3.0, 4.0, SegmentKind::Decode, 1);
+        t.record(0, 5.0, 6.0, SegmentKind::Decode, 2);
+        // dev1: one long decode pinning makespan to 8.
+        t.record(1, 0.0, 8.0, SegmentKind::Decode, 3);
+        t
+    }
+
+    #[test]
+    fn gaps_are_found_and_classified() {
+        let t = tl();
+        let gaps = idle_gaps(&t, 1e-9);
+        assert_eq!(gaps.len(), 4); // warmup, boundary, decode, drain (dev0)
+        let b = bubble_breakdown(&t, 1e-9);
+        assert!((b.warmup - 1.0).abs() < 1e-12);
+        assert!((b.at_phase_boundary - 1.0).abs() < 1e-12);
+        assert!((b.within_decode - 1.0).abs() < 1e-12);
+        assert!((b.drain - 2.0).abs() < 1e-12);
+        assert_eq!(b.within_prefill, 0.0);
+        assert!((b.total() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_matches_timeline_idle() {
+        let t = tl();
+        let b = bubble_breakdown(&t, 1e-9);
+        let busy: f64 = (0..2).map(|d| t.busy_time(d)).sum();
+        let idle = t.makespan() * 2.0 - busy;
+        assert!((b.total() - idle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_gap_filters_jitter() {
+        let mut t = Timeline::new(true);
+        t.record(0, 0.0, 1.0, SegmentKind::Decode, 0);
+        t.record(0, 1.0005, 2.0, SegmentKind::Decode, 1);
+        assert!(idle_gaps(&t, 1e-3).is_empty());
+        assert_eq!(idle_gaps(&t, 1e-6).len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! ASCII Gantt rendering of device timelines (the paper's Figure 1, in a
+//! terminal).
+
+use crate::timeline::{SegmentKind, Timeline};
+
+/// Options for [`render_gantt`].
+#[derive(Debug, Clone, Copy)]
+pub struct GanttOptions {
+    /// Character columns the time axis spans.
+    pub width: usize,
+    /// Start of the rendered window (seconds).
+    pub t0: f64,
+    /// End of the rendered window (seconds); `f64::INFINITY` = makespan.
+    pub t1: f64,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 100,
+            t0: 0.0,
+            t1: f64::INFINITY,
+        }
+    }
+}
+
+fn glyph(kind: SegmentKind) -> char {
+    match kind {
+        SegmentKind::Prefill => 'P',
+        SegmentKind::Decode => 'd',
+        SegmentKind::Hybrid => 'h',
+        SegmentKind::Comm => 'c',
+    }
+}
+
+/// Render a timeline as one text row per device: `P` prefill, `d` decode,
+/// `h` hybrid, `c` comm, `.` idle. Each column is a time bucket; the
+/// majority activity in the bucket wins (idle wins only when nothing ran).
+///
+/// Returns an empty string when the timeline recorded no segments (e.g.
+/// recording was disabled).
+pub fn render_gantt(timeline: &Timeline, opts: &GanttOptions) -> String {
+    let segments = timeline.segments();
+    if segments.is_empty() || opts.width == 0 {
+        return String::new();
+    }
+    let t1 = if opts.t1.is_finite() {
+        opts.t1
+    } else {
+        timeline.makespan()
+    };
+    let t0 = opts.t0;
+    if t1 <= t0 {
+        return String::new();
+    }
+    let devices = timeline.num_devices();
+    let dt = (t1 - t0) / opts.width as f64;
+    // busy[device][col][kind-index] accumulates busy seconds.
+    let mut busy = vec![vec![[0.0f64; 4]; opts.width]; devices];
+    for s in segments {
+        let kind_idx = match s.kind {
+            SegmentKind::Prefill => 0,
+            SegmentKind::Decode => 1,
+            SegmentKind::Hybrid => 2,
+            SegmentKind::Comm => 3,
+        };
+        let lo = ((s.start.max(t0) - t0) / dt).floor() as usize;
+        let hi = (((s.end.min(t1) - t0) / dt).ceil() as usize).min(opts.width);
+        for (col, cell) in busy[s.device as usize][lo..hi].iter_mut().enumerate() {
+            let c0 = t0 + (lo + col) as f64 * dt;
+            let c1 = c0 + dt;
+            let overlap = (s.end.min(c1) - s.start.max(c0)).max(0.0);
+            cell[kind_idx] += overlap;
+        }
+    }
+    let kinds = [
+        SegmentKind::Prefill,
+        SegmentKind::Decode,
+        SegmentKind::Hybrid,
+        SegmentKind::Comm,
+    ];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time {:.1}s .. {:.1}s ({:.2}s/col); P=prefill d=decode h=hybrid c=comm .=idle ,=mostly-idle\n",
+        t0, t1, dt
+    ));
+    for (dev, cols) in busy.iter().enumerate() {
+        out.push_str(&format!("gpu{dev} |"));
+        for col in cols {
+            let total: f64 = col.iter().sum();
+            if total < dt * 0.5 {
+                out.push(if total < dt * 0.1 { '.' } else { ',' });
+            } else {
+                let (best, _) = kinds
+                    .iter()
+                    .zip(col.iter())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("four kinds");
+                out.push(glyph(*best));
+            }
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_phases_and_idle() {
+        let mut tl = Timeline::new(true);
+        // gpu0: prefill [0,4), idle [4,6), decode [6,10).
+        tl.record(0, 0.0, 4.0, SegmentKind::Prefill, 0);
+        tl.record(0, 6.0, 10.0, SegmentKind::Decode, 1);
+        // gpu1: decode all along.
+        tl.record(1, 0.0, 10.0, SegmentKind::Decode, 2);
+        let g = render_gantt(
+            &tl,
+            &GanttOptions {
+                width: 10,
+                ..GanttOptions::default()
+            },
+        );
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "gpu0 |PPPP..dddd|");
+        // (columns 4-5 are fully idle => '.')
+        assert_eq!(lines[2], "gpu1 |dddddddddd|");
+    }
+
+    #[test]
+    fn empty_timeline_renders_nothing() {
+        let tl = Timeline::new(true);
+        assert!(render_gantt(&tl, &GanttOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn windowed_rendering_clips() {
+        let mut tl = Timeline::new(true);
+        tl.record(0, 0.0, 100.0, SegmentKind::Prefill, 0);
+        let g = render_gantt(
+            &tl,
+            &GanttOptions {
+                width: 5,
+                t0: 40.0,
+                t1: 60.0,
+            },
+        );
+        assert!(g.lines().nth(1).unwrap().contains("PPPPP"));
+    }
+
+    #[test]
+    fn majority_activity_wins_a_column() {
+        let mut tl = Timeline::new(true);
+        tl.record(0, 0.0, 0.8, SegmentKind::Decode, 0);
+        tl.record(0, 0.8, 1.0, SegmentKind::Prefill, 1);
+        let g = render_gantt(
+            &tl,
+            &GanttOptions {
+                width: 1,
+                ..GanttOptions::default()
+            },
+        );
+        assert!(g.lines().nth(1).unwrap().contains('d'));
+    }
+}

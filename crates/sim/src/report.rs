@@ -1,0 +1,136 @@
+//! End-of-run reports: the numbers the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-request latency summary for one run.
+///
+/// TD-Pipe explicitly targets workloads "without strict latency SLO
+/// constraints" (§1): temporal disaggregation trades time-to-first-token
+/// for throughput, because admitted prompts then wait out a whole decode
+/// phase. These numbers make that trade visible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Mean time from t=0 to a request's first generated token (seconds).
+    pub ttft_mean: f64,
+    /// 99th percentile of time to first token.
+    pub ttft_p99: f64,
+    /// Mean time from t=0 to request completion.
+    pub completion_mean: f64,
+    /// Median completion time.
+    pub completion_p50: f64,
+    /// 99th percentile completion time.
+    pub completion_p99: f64,
+}
+
+/// Aggregate outcome of one scheduler run over one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheduler name ("TD-Pipe", "TP+SB", …).
+    pub scheduler: String,
+    /// Wall time from first prefill launch to last decode completion
+    /// (the paper records throughput over exactly this span).
+    pub makespan: f64,
+    /// Number of requests served to completion.
+    pub num_requests: usize,
+    /// Prompt tokens prefetched (first-time prefills only).
+    pub input_tokens: u64,
+    /// Generated tokens.
+    pub output_tokens: u64,
+    /// Prompt tokens prefilled *again* due to recompute-on-overflow
+    /// evictions (wasted work; zero in well-tuned runs).
+    pub recomputed_tokens: u64,
+    /// KV tokens moved over the host link by swap-preemption (out + in).
+    pub swapped_tokens: u64,
+    /// Number of prefill↔decode phase switches the engine performed
+    /// (meaningful for temporally-disaggregated schedulers; 0 otherwise).
+    pub phase_switches: u32,
+    /// Mean GPU busy fraction over the run.
+    pub mean_utilization: f64,
+    /// Per-request latency distribution (None when not tracked).
+    pub latency: Option<LatencySummary>,
+}
+
+impl RunReport {
+    /// Paper headline metric: tokens per second. We follow the vLLM
+    /// benchmark convention the paper builds on — total (prompt +
+    /// generated) tokens divided by makespan.
+    pub fn throughput_total(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        (self.input_tokens + self.output_tokens) as f64 / self.makespan
+    }
+
+    /// Generated tokens per second (reported alongside the total).
+    pub fn throughput_output(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.output_tokens as f64 / self.makespan
+    }
+
+    /// Fraction of prefill work wasted on recomputation.
+    pub fn recompute_overhead(&self) -> f64 {
+        if self.input_tokens == 0 {
+            return 0.0;
+        }
+        self.recomputed_tokens as f64 / self.input_tokens as f64
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<10} {:>8.1}s  {:>9.0} tok/s total ({:>8.0} out)  util {:>5.1}%  switches {:>3}  recompute {:>4.1}%",
+            self.scheduler,
+            self.makespan,
+            self.throughput_total(),
+            self.throughput_output(),
+            self.mean_utilization * 100.0,
+            self.phase_switches,
+            self.recompute_overhead() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            scheduler: "TD-Pipe".into(),
+            makespan: 10.0,
+            num_requests: 5,
+            input_tokens: 1000,
+            output_tokens: 500,
+            recomputed_tokens: 100,
+            swapped_tokens: 0,
+            phase_switches: 3,
+            mean_utilization: 0.9,
+            latency: None,
+        }
+    }
+
+    #[test]
+    fn throughputs() {
+        let r = report();
+        assert!((r.throughput_total() - 150.0).abs() < 1e-12);
+        assert!((r.throughput_output() - 50.0).abs() < 1e-12);
+        assert!((r.recompute_overhead() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_makespan_is_safe() {
+        let mut r = report();
+        r.makespan = 0.0;
+        assert_eq!(r.throughput_total(), 0.0);
+        assert_eq!(r.throughput_output(), 0.0);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        assert_eq!(report().to_string().lines().count(), 1);
+    }
+}

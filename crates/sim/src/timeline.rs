@@ -1,0 +1,250 @@
+//! Per-device activity timelines: the measurement substrate for GPU
+//! utilization (paper Fig. 2) and bubble visualisation (Fig. 1).
+
+use serde::{Deserialize, Serialize};
+
+/// What a device was doing during a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// Executing prefill work.
+    Prefill,
+    /// Executing decode work.
+    Decode,
+    /// Executing a hybrid (chunked prefill + decode) batch.
+    Hybrid,
+    /// Communicating (all-reduce under TP).
+    Comm,
+}
+
+impl SegmentKind {
+    /// Short label used in CSV/Gantt exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SegmentKind::Prefill => "prefill",
+            SegmentKind::Decode => "decode",
+            SegmentKind::Hybrid => "hybrid",
+            SegmentKind::Comm => "comm",
+        }
+    }
+}
+
+/// One contiguous busy interval on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Device (pipeline stage / GPU) index.
+    pub device: u32,
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+    /// Activity class.
+    pub kind: SegmentKind,
+    /// Free-form job tag (batch id, request group, …).
+    pub tag: u64,
+}
+
+/// An append-only log of busy segments across devices.
+///
+/// Recording can be disabled for long benchmark runs where only aggregate
+/// busy time matters; aggregates are maintained either way.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    segments: Vec<Segment>,
+    record_segments: bool,
+    /// Per-device total busy seconds (always maintained).
+    busy: Vec<f64>,
+    /// Latest segment end across devices.
+    end: f64,
+    /// Earliest segment start across devices.
+    start: f64,
+    any: bool,
+}
+
+impl Timeline {
+    /// Create a timeline; `record_segments` controls whether individual
+    /// segments are kept (aggregates always are).
+    pub fn new(record_segments: bool) -> Self {
+        Timeline {
+            segments: Vec::new(),
+            record_segments,
+            busy: Vec::new(),
+            end: 0.0,
+            start: f64::INFINITY,
+            any: false,
+        }
+    }
+
+    /// Record a busy interval on `device`.
+    ///
+    /// # Panics
+    /// Panics if `end < start` (zero-length segments are allowed and
+    /// ignored in aggregates).
+    pub fn record(&mut self, device: u32, start: f64, end: f64, kind: SegmentKind, tag: u64) {
+        assert!(end >= start, "segment ends before it starts");
+        if self.busy.len() <= device as usize {
+            self.busy.resize(device as usize + 1, 0.0);
+        }
+        self.busy[device as usize] += end - start;
+        self.end = self.end.max(end);
+        self.start = self.start.min(start);
+        self.any = true;
+        if self.record_segments {
+            self.segments.push(Segment {
+                device,
+                start,
+                end,
+                kind,
+                tag,
+            });
+        }
+    }
+
+    /// All recorded segments (empty when recording is disabled).
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of devices that recorded at least one segment.
+    #[inline]
+    pub fn num_devices(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Total busy seconds of one device.
+    pub fn busy_time(&self, device: u32) -> f64 {
+        self.busy.get(device as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Time of the last recorded activity.
+    #[inline]
+    pub fn makespan(&self) -> f64 {
+        if self.any {
+            self.end
+        } else {
+            0.0
+        }
+    }
+
+    /// Busy fraction of one device over `[0, makespan]`.
+    pub fn utilization(&self, device: u32) -> f64 {
+        let span = self.makespan();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.busy_time(device) / span
+        }
+    }
+
+    /// Mean busy fraction across all devices over `[0, makespan]` — the
+    /// quantity the paper's Figure 2 plots.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.busy.is_empty() {
+            return 0.0;
+        }
+        let span = self.makespan();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.busy.iter().sum::<f64>() / (span * self.busy.len() as f64)
+    }
+
+    /// Bubble ratio: 1 − mean utilization.
+    #[inline]
+    pub fn bubble_ratio(&self) -> f64 {
+        1.0 - self.mean_utilization()
+    }
+
+    /// Busy time of `device` clipped to a window (needed for steady-state
+    /// utilization that excludes warm-up and drain).
+    pub fn busy_in_window(&self, device: u32, t0: f64, t1: f64) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.device == device)
+            .map(|s| (s.end.min(t1) - s.start.max(t0)).max(0.0))
+            .sum()
+    }
+
+    /// Mean utilization across devices within `[t0, t1]`. Requires segment
+    /// recording.
+    pub fn mean_utilization_in_window(&self, t0: f64, t1: f64) -> f64 {
+        assert!(
+            self.record_segments,
+            "windowed utilization needs segment recording"
+        );
+        let n = self.num_devices();
+        if n == 0 || t1 <= t0 {
+            return 0.0;
+        }
+        let total: f64 = (0..n as u32).map(|d| self.busy_in_window(d, t0, t1)).sum();
+        total / ((t1 - t0) * n as f64)
+    }
+
+    /// CSV export: `device,start,end,kind,tag` per line, header included.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(32 * self.segments.len() + 32);
+        out.push_str("device,start,end,kind,tag\n");
+        for s in &self.segments {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{},{}\n",
+                s.device,
+                s.start,
+                s.end,
+                s.kind.label(),
+                s.tag
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_without_recording() {
+        let mut t = Timeline::new(false);
+        t.record(0, 0.0, 1.0, SegmentKind::Prefill, 1);
+        t.record(1, 0.5, 2.0, SegmentKind::Decode, 2);
+        assert!(t.segments().is_empty());
+        assert_eq!(t.busy_time(0), 1.0);
+        assert_eq!(t.busy_time(1), 1.5);
+        assert_eq!(t.makespan(), 2.0);
+        assert!((t.mean_utilization() - (1.0 + 1.5) / (2.0 * 2.0)).abs() < 1e-12);
+        assert!((t.bubble_ratio() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_utilization_clips_segments() {
+        let mut t = Timeline::new(true);
+        t.record(0, 0.0, 4.0, SegmentKind::Decode, 0);
+        t.record(1, 1.0, 2.0, SegmentKind::Decode, 0);
+        // Window [1, 3]: dev0 busy 2.0, dev1 busy 1.0 → (2+1)/(2*2)=0.75.
+        assert!((t.mean_utilization_in_window(1.0, 3.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_timeline_is_safe() {
+        let t = Timeline::new(true);
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.mean_utilization(), 0.0);
+        assert_eq!(t.utilization(3), 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Timeline::new(true);
+        t.record(2, 0.25, 0.5, SegmentKind::Hybrid, 77);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "device,start,end,kind,tag");
+        assert_eq!(lines.next().unwrap(), "2,0.250000,0.500000,hybrid,77");
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn negative_segment_panics() {
+        Timeline::new(false).record(0, 1.0, 0.5, SegmentKind::Comm, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Request arrival processes.
+//!
+//! The paper's evaluation is offline (everything queued at t = 0); these
+//! processes extend the workload model so the engines' online behaviour —
+//! and the latency cost of temporal disaggregation under load — can be
+//! studied too.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How requests enter the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Everything present at t = 0 (the paper's §4.1 setting).
+    Offline,
+    /// Memoryless arrivals at `rate_per_s` requests/second.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_per_s: f64,
+        /// RNG seed (deterministic draws).
+        seed: u64,
+    },
+    /// `waves` equal bursts spaced `interval_s` apart (batch-API dumps).
+    Waves {
+        /// Number of bursts.
+        waves: u32,
+        /// Seconds between consecutive bursts.
+        interval_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Arrival time of each of `n` requests, non-decreasing.
+    pub fn sample(&self, n: usize) -> Vec<f64> {
+        match *self {
+            ArrivalProcess::Offline => vec![0.0; n],
+            ArrivalProcess::Poisson { rate_per_s, seed } => {
+                assert!(rate_per_s > 0.0, "rate must be positive");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.random::<f64>().max(1e-12);
+                        t += -u.ln() / rate_per_s;
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Waves { waves, interval_s } => {
+                assert!(waves > 0, "need at least one wave");
+                (0..n)
+                    .map(|i| (i as u32 % waves) as f64)
+                    .map(|w| w * interval_s)
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_is_all_zero() {
+        assert_eq!(ArrivalProcess::Offline.sample(3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn poisson_is_sorted_and_near_rate() {
+        let a = ArrivalProcess::Poisson {
+            rate_per_s: 10.0,
+            seed: 5,
+        }
+        .sample(5_000);
+        assert!(a.windows(2).all(|w| w[1] >= w[0]));
+        // 5,000 arrivals at 10/s should span ~500 s.
+        let span = *a.last().unwrap();
+        assert!((400.0..600.0).contains(&span), "span={span}");
+        // Deterministic.
+        let b = ArrivalProcess::Poisson {
+            rate_per_s: 10.0,
+            seed: 5,
+        }
+        .sample(5_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn waves_cycle_over_bursts() {
+        let a = ArrivalProcess::Waves {
+            waves: 3,
+            interval_s: 60.0,
+        }
+        .sample(7);
+        assert_eq!(a, vec![0.0, 60.0, 120.0, 0.0, 60.0, 120.0, 0.0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Multi-turn conversation traces.
+//!
+//! ShareGPT samples are *conversations*: each sample contains an
+//! indefinite number of rounds, and the paper constructs its 86,612
+//! (input, output) pairs from them (§4.1). A later round's input is the
+//! running transcript — previous prompt + previous answer + the new user
+//! turn — so inputs within a conversation are strongly correlated and grow
+//! until the filter cuts them off. This module generates traces with that
+//! structure, which stresses schedulers differently from i.i.d. lengths
+//! (bursts of long-input requests from deep conversations).
+
+use crate::generator::{sample_category, sample_std_normal, ShareGptLikeConfig};
+use crate::request::{Request, RequestId};
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the conversation-structured generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversationConfig {
+    /// Base single-turn statistics (lengths, categories, features, seed).
+    pub base: ShareGptLikeConfig,
+    /// Mean number of rounds per conversation (geometric distribution).
+    pub mean_rounds: f64,
+    /// Tokens of fresh user text added per round (log-normal µ in log-space
+    /// reuses the base input distribution divided by ~2).
+    pub turn_mu: f64,
+    /// Log-normal σ of the per-round user turn length.
+    pub turn_sigma: f64,
+}
+
+impl Default for ConversationConfig {
+    fn default() -> Self {
+        ConversationConfig {
+            base: ShareGptLikeConfig::default(),
+            mean_rounds: 2.8,
+            turn_mu: 4.3,
+            turn_sigma: 0.9,
+        }
+    }
+}
+
+impl ConversationConfig {
+    /// Generate approximately `num_pairs` (input, output) request pairs by
+    /// simulating conversations and flattening their rounds, applying the
+    /// paper's `< input_max` filter to each pair.
+    pub fn generate_pairs(&self, num_pairs: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.base.seed ^ 0xC0_4E_95);
+        let mut requests = Vec::with_capacity(num_pairs);
+        let continue_p = 1.0 - 1.0 / self.mean_rounds.max(1.0);
+        while requests.len() < num_pairs {
+            // One conversation: a topic category persists across rounds.
+            let category = sample_category(&mut rng);
+            let mut context = 0u64; // transcript tokens so far
+            loop {
+                let turn = (self.turn_mu + self.turn_sigma * sample_std_normal(&mut rng))
+                    .exp()
+                    .max(1.0) as u64;
+                let input_len = (context + turn).min(u32::MAX as u64) as u32;
+                if input_len >= self.base.input_max {
+                    break; // the paper's filter: drop ≥1024-token inputs
+                }
+                let output_len = self.base.sample_output_for(&mut rng, category);
+                let features = self.base.sample_features_for(&mut rng, category);
+                requests.push(Request {
+                    id: RequestId(requests.len() as u64),
+                    input_len: input_len.max(1),
+                    output_len,
+                    category: category as u8,
+                    features,
+                });
+                if requests.len() >= num_pairs {
+                    break;
+                }
+                context += turn + output_len as u64;
+                if rng.random::<f64>() > continue_p {
+                    break;
+                }
+            }
+        }
+        Trace::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_respect_filter_and_count() {
+        let t = ConversationConfig::default().generate_pairs(3_000);
+        assert_eq!(t.len(), 3_000);
+        for r in t.requests() {
+            assert!(r.input_len >= 1 && r.input_len < 1024);
+            assert!(r.output_len >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ConversationConfig::default().generate_pairs(500);
+        let b = ConversationConfig::default().generate_pairs(500);
+        assert_eq!(a.requests(), b.requests());
+    }
+
+    #[test]
+    fn inputs_grow_within_conversations() {
+        // Consecutive pairs from the same conversation have growing inputs;
+        // across the trace this shows up as positive lag-1 autocorrelation
+        // of input lengths, absent from the i.i.d. generator.
+        let conv = ConversationConfig::default().generate_pairs(8_000);
+        let iid = ShareGptLikeConfig::small(8_000, 1).generate();
+        let lag1 = |t: &Trace| {
+            let v: Vec<f64> = t.requests().iter().map(|r| r.input_len as f64).collect();
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let var: f64 = v.iter().map(|x| (x - mean).powi(2)).sum();
+            let cov: f64 = v.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+            cov / var
+        };
+        let c = lag1(&conv);
+        let i = lag1(&iid);
+        assert!(c > 0.08, "conversation lag-1 autocorrelation {c}");
+        assert!(i.abs() < 0.1, "iid lag-1 autocorrelation {i}");
+    }
+
+    #[test]
+    fn longer_conversations_mean_longer_inputs() {
+        let short = ConversationConfig {
+            mean_rounds: 1.0,
+            ..ConversationConfig::default()
+        }
+        .generate_pairs(4_000);
+        let long = ConversationConfig {
+            mean_rounds: 6.0,
+            ..ConversationConfig::default()
+        }
+        .generate_pairs(4_000);
+        let mean_in = |t: &Trace| {
+            t.requests().iter().map(|r| r.input_len as f64).sum::<f64>() / t.len() as f64
+        };
+        assert!(mean_in(&long) > mean_in(&short) * 1.2);
+    }
+}

@@ -1,0 +1,64 @@
+//! The unit of work: one generative request.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a request within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One generative request: a prompt of `input_len` tokens that will produce
+/// `output_len` tokens.
+///
+/// `output_len` is **ground truth known only to the simulator oracle**: a
+/// scheduler must never branch on it directly (the whole point of the
+/// paper's AI-based greedy prefill is that output lengths are unknown until
+/// completion). Schedulers observe completion when the generated-token
+/// count reaches `output_len`, and may consult the *predictor* for an
+/// estimate. The `features` vector is what the predictor sees — the
+/// stand-in for the BERT `[CLS]` embedding of the prompt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Identifier, unique within a trace.
+    pub id: RequestId,
+    /// Prompt length in tokens (paper filters to < 1024).
+    pub input_len: u32,
+    /// Ground-truth output length in tokens (oracle only).
+    pub output_len: u32,
+    /// Latent scenario category that shaped `output_len` (oracle only;
+    /// useful for diagnostics and predictor ceiling analysis).
+    pub category: u8,
+    /// Observable prompt embedding consumed by the length predictor.
+    pub features: Vec<f32>,
+}
+
+impl Request {
+    /// Total tokens this request will ever hold in KV cache.
+    #[inline]
+    pub fn total_len(&self) -> u64 {
+        self.input_len as u64 + self.output_len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_len_sums() {
+        let r = Request {
+            id: RequestId(7),
+            input_len: 100,
+            output_len: 28,
+            category: 3,
+            features: vec![0.0; 4],
+        };
+        assert_eq!(r.total_len(), 128);
+        assert_eq!(r.id.to_string(), "r7");
+    }
+}

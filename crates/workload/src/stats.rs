@@ -1,0 +1,143 @@
+//! Summary statistics over traces (and the percentile helper the
+//! length-predictor's bucket boundaries reuse).
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Percentile of a sample by linear interpolation between order statistics.
+///
+/// `p` is in `[0, 100]`. The input does not need to be sorted.
+///
+/// # Panics
+/// Panics on an empty sample or `p` outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "p={p} out of range");
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Descriptive statistics of a trace, printed by examples and benches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub count: usize,
+    /// Mean / p50 / p90 / max of input lengths.
+    pub input: FieldStats,
+    /// Mean / p50 / p90 / max of output lengths.
+    pub output: FieldStats,
+    /// Total tokens (inputs + outputs).
+    pub total_tokens: u64,
+}
+
+/// Moments of one length field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: u32,
+}
+
+impl FieldStats {
+    fn compute(values: &[f64]) -> Self {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        FieldStats {
+            mean,
+            p50: percentile(values, 50.0),
+            p90: percentile(values, 90.0),
+            max: values.iter().cloned().fold(0.0, f64::max) as u32,
+        }
+    }
+}
+
+impl TraceStats {
+    /// Compute statistics for a non-empty trace.
+    ///
+    /// # Panics
+    /// Panics on an empty trace.
+    pub fn compute(trace: &Trace) -> Self {
+        assert!(!trace.is_empty(), "stats of empty trace");
+        let inputs: Vec<f64> = trace.requests().iter().map(|r| r.input_len as f64).collect();
+        let outputs: Vec<f64> = trace.requests().iter().map(|r| r.output_len as f64).collect();
+        TraceStats {
+            count: trace.len(),
+            input: FieldStats::compute(&inputs),
+            output: FieldStats::compute(&outputs),
+            total_tokens: trace.total_input_tokens() + trace.total_output_tokens(),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "requests: {}", self.count)?;
+        writeln!(
+            f,
+            "input  tokens: mean {:.1}, p50 {:.0}, p90 {:.0}, max {}",
+            self.input.mean, self.input.p50, self.input.p90, self.input.max
+        )?;
+        writeln!(
+            f,
+            "output tokens: mean {:.1}, p50 {:.0}, p90 {:.0}, max {}",
+            self.output.mean, self.output.p50, self.output.p90, self.output.max
+        )?;
+        write!(f, "total tokens: {}", self.total_tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ShareGptLikeConfig;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        assert!((percentile(&v, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let v = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let t = ShareGptLikeConfig::small(2_000, 1).generate();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.count, 2_000);
+        assert!(s.input.p50 <= s.input.p90);
+        assert!(s.input.p90 <= s.input.max as f64);
+        assert!(s.output.p50 <= s.output.p90);
+        assert_eq!(
+            s.total_tokens,
+            t.total_input_tokens() + t.total_output_tokens()
+        );
+        // Display renders without panicking.
+        let _ = s.to_string();
+    }
+}

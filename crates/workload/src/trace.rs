@@ -1,0 +1,194 @@
+//! Traces: ordered collections of requests with sampling and splitting.
+
+use crate::request::Request;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection of requests (one benchmark dataset).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+}
+
+/// The 60/20/20 train/validation/test partition the paper uses for the
+/// output-length predictor (§4.1).
+#[derive(Debug, Clone)]
+pub struct TraceSplits {
+    /// 60% — predictor training set.
+    pub train: Trace,
+    /// 20% — validation set.
+    pub val: Trace,
+    /// 20% — held-out test set (also the pool performance runs sample from).
+    pub test: Trace,
+}
+
+impl Trace {
+    /// Wrap a request list.
+    pub fn new(requests: Vec<Request>) -> Self {
+        Trace { requests }
+    }
+
+    /// Requests in trace order.
+    #[inline]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Total prompt tokens.
+    pub fn total_input_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.input_len as u64).sum()
+    }
+
+    /// Total generated tokens.
+    pub fn total_output_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.output_len as u64).sum()
+    }
+
+    /// Draw `n` requests uniformly without replacement (deterministic in
+    /// `seed`). Mirrors the paper's "randomly sample 5,000 input sentences".
+    ///
+    /// # Panics
+    /// Panics if `n > self.len()`.
+    pub fn sample(&self, n: usize, seed: u64) -> Trace {
+        assert!(n <= self.len(), "cannot sample {n} from {}", self.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(n);
+        idx.sort_unstable(); // keep original relative order for readability
+        Trace::new(idx.into_iter().map(|i| self.requests[i].clone()).collect())
+    }
+
+    /// Concatenate traces, re-numbering request ids to stay unique.
+    pub fn concat(traces: &[Trace]) -> Trace {
+        let mut requests = Vec::with_capacity(traces.iter().map(Trace::len).sum());
+        for t in traces {
+            for r in t.requests() {
+                let mut r = r.clone();
+                r.id = crate::request::RequestId(requests.len() as u64);
+                requests.push(r);
+            }
+        }
+        Trace::new(requests)
+    }
+
+    /// Keep only requests satisfying `keep` (ids preserved).
+    pub fn filter<F: FnMut(&Request) -> bool>(&self, mut keep: F) -> Trace {
+        Trace::new(
+            self.requests()
+                .iter()
+                .filter(|r| keep(r))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Shuffle-and-slice into the paper's 60/20/20 split (deterministic in
+    /// `seed`).
+    pub fn split(&self, seed: u64) -> TraceSplits {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shuffled = self.requests.clone();
+        shuffled.shuffle(&mut rng);
+        let n = shuffled.len();
+        let train_end = n * 60 / 100;
+        let val_end = n * 80 / 100;
+        let test = shuffled.split_off(val_end);
+        let val = shuffled.split_off(train_end);
+        TraceSplits {
+            train: Trace::new(shuffled),
+            val: Trace::new(val),
+            test: Trace::new(test),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ShareGptLikeConfig;
+
+    fn trace(n: usize) -> Trace {
+        ShareGptLikeConfig::small(n, 5).generate()
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_without_replacement() {
+        let t = trace(1000);
+        let a = t.sample(100, 9);
+        let b = t.sample(100, 9);
+        assert_eq!(a.requests(), b.requests());
+        let mut ids: Vec<u64> = a.requests().iter().map(|r| r.id.0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn split_partitions_everything_exactly_once() {
+        let t = trace(997); // awkward size on purpose
+        let s = t.split(3);
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 997);
+        let mut ids: Vec<u64> = s
+            .train
+            .requests()
+            .iter()
+            .chain(s.val.requests())
+            .chain(s.test.requests())
+            .map(|r| r.id.0)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 997);
+        // Ratios approximately 60/20/20.
+        assert!((s.train.len() as f64 / 997.0 - 0.6).abs() < 0.01);
+        assert!((s.test.len() as f64 / 997.0 - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn concat_renumbers_ids() {
+        let a = trace(5);
+        let b = trace(3);
+        let c = Trace::concat(&[a, b]);
+        assert_eq!(c.len(), 8);
+        let ids: Vec<u64> = c.requests().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn filter_selects_and_preserves() {
+        let t = trace(100);
+        let long = t.filter(|r| r.input_len > 200);
+        assert!(long.len() < t.len());
+        assert!(long.requests().iter().all(|r| r.input_len > 200));
+        // Filtered requests keep their original identity.
+        let orig_ids: std::collections::HashSet<u64> =
+            t.requests().iter().map(|r| r.id.0).collect();
+        assert!(long.requests().iter().all(|r| orig_ids.contains(&r.id.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        trace(10).sample(11, 0);
+    }
+
+    #[test]
+    fn token_totals() {
+        let t = trace(50);
+        let by_hand: u64 = t.requests().iter().map(|r| r.input_len as u64).sum();
+        assert_eq!(t.total_input_tokens(), by_hand);
+    }
+}

@@ -1,0 +1,85 @@
+//! The hierarchy-controller with real threads (paper §3.2).
+//!
+//! Spawns one worker thread per pipeline stage, drives a mixed
+//! prefill/decode job stream through them, and shows (a) the virtual-time
+//! result agrees exactly with the deterministic simulator, and (b) the
+//! asynchronous control/execution split beats conventional blocking
+//! rendezvous transfers on irregular workloads — the §3.2 claim,
+//! demonstrated with actual concurrency rather than a model.
+//!
+//! ```text
+//! cargo run --release --example hierarchy_controller
+//! ```
+
+use tdpipe::core::cost::PpCost;
+use tdpipe::hw::NodeSpec;
+use tdpipe::model::ModelSpec;
+use tdpipe::runtime::{Cluster, JobSpec};
+use tdpipe::sim::{PipelineSim, SegmentKind, TransferMode};
+
+fn job_stream(cost: &PpCost) -> Vec<(Vec<f64>, Vec<f64>, SegmentKind)> {
+    // An interleaved stream like a conventional PP engine would emit:
+    // every 8th job is a big prefill, the rest are decode steps.
+    (0..160)
+        .map(|i| {
+            if i % 8 == 0 {
+                let j = cost.prefill_job(&[512, 384, 640]);
+                (j.exec, j.xfer, SegmentKind::Prefill)
+            } else {
+                let j = cost.decode_job(128, 128 * 300);
+                (j.exec, j.xfer, SegmentKind::Decode)
+            }
+        })
+        .collect()
+}
+
+fn run(mode: TransferMode, jobs: &[(Vec<f64>, Vec<f64>, SegmentKind)]) -> (f64, f64) {
+    let world = jobs[0].0.len() as u32;
+    // Threads.
+    let cluster = Cluster::spawn(world, mode);
+    for (id, (exec, xfer, kind)) in jobs.iter().enumerate() {
+        cluster.launch(JobSpec {
+            id: id as u64,
+            ready: 0.0,
+            exec: exec.clone(),
+            xfer: xfer.clone(),
+            kind: *kind,
+        });
+    }
+    let mut threaded_last = 0.0;
+    for _ in 0..jobs.len() {
+        threaded_last = cluster.completions().recv().unwrap().finish;
+    }
+    cluster.shutdown();
+    // Simulator.
+    let mut sim = PipelineSim::new(world, mode, false);
+    let mut sim_last = 0.0;
+    for (id, (exec, xfer, kind)) in jobs.iter().enumerate() {
+        sim_last = sim.launch(0.0, exec, xfer, *kind, id as u64).finish;
+    }
+    (threaded_last, sim_last)
+}
+
+fn main() {
+    let cost = PpCost::new(ModelSpec::llama2_13b(), &NodeSpec::l20(4));
+    let jobs = job_stream(&cost);
+    println!(
+        "driving {} mixed prefill/decode jobs through 4 worker threads\n",
+        jobs.len()
+    );
+
+    let (t_async, s_async) = run(TransferMode::Async, &jobs);
+    println!("async (hierarchy-controller):");
+    println!("  threads finish at {t_async:9.3}s   simulator {s_async:9.3}s   agree: {}",
+        (t_async - s_async).abs() < 1e-9);
+
+    let (t_rdv, s_rdv) = run(TransferMode::Rendezvous, &jobs);
+    println!("rendezvous (conventional blocking sends):");
+    println!("  threads finish at {t_rdv:9.3}s   simulator {s_rdv:9.3}s   agree: {}",
+        (t_rdv - s_rdv).abs() < 1e-9);
+
+    println!(
+        "\ndecoupling the control plane is worth {:.1}% on this stream (paper §3.2)",
+        (t_rdv / t_async - 1.0) * 100.0
+    );
+}

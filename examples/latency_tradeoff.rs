@@ -1,0 +1,69 @@
+//! The throughput-for-latency trade (paper §1): TD-Pipe targets workloads
+//! "without strict latency SLO constraints" because temporal
+//! disaggregation makes individual requests *wait* — an admitted prompt
+//! sits out whole decode phases, and pending prompts sit out whole
+//! prefill+decode cycles. This example quantifies the trade on one
+//! configuration using the per-request latency tracking every engine
+//! maintains.
+//!
+//! ```text
+//! cargo run --release --example latency_tradeoff
+//! ```
+
+use tdpipe::baselines::{TpHbEngine, TpSbEngine};
+use tdpipe::core::config::EngineConfig;
+use tdpipe::core::{TdPipeConfig, TdPipeEngine};
+use tdpipe::hw::NodeSpec;
+use tdpipe::model::ModelSpec;
+use tdpipe::predictor::OraclePredictor;
+use tdpipe::sim::RunReport;
+use tdpipe::workload::ShareGptLikeConfig;
+
+fn show(r: &RunReport) {
+    let l = r.latency.expect("latency tracked");
+    println!(
+        "{:<8}  {:>7.0} tok/s | TTFT mean {:>7.1}s p99 {:>7.1}s | completion p50 {:>7.1}s p99 {:>7.1}s",
+        r.scheduler,
+        r.throughput_total(),
+        l.ttft_mean,
+        l.ttft_p99,
+        l.completion_p50,
+        l.completion_p99
+    );
+}
+
+fn main() {
+    let trace = ShareGptLikeConfig::small(3_000, 42).generate();
+    let model = ModelSpec::qwen2_5_32b();
+    let node = NodeSpec::a100(4);
+
+    println!("3,000-request batch on A100x4 + Qwen2.5-32B\n");
+    let td = TdPipeEngine::new(model.clone(), &node, TdPipeConfig::default())
+        .expect("fits")
+        .run(&trace, &OraclePredictor);
+    show(&td.report);
+
+    let tp_sb = TpSbEngine::new(model.clone(), &node, EngineConfig::default())
+        .expect("fits")
+        .run(&trace, &OraclePredictor);
+    show(&tp_sb.report);
+
+    let tp_hb = TpHbEngine::new(model, &node, EngineConfig::default())
+        .expect("fits")
+        .run(&trace, &OraclePredictor);
+    show(&tp_hb.report);
+
+    let td_l = td.report.latency.unwrap();
+    println!(
+        "\nIn a pure offline batch, TD-Pipe wins *both* metrics — being {:.2}x \
+         faster overall drains the queue sooner than any per-request cleverness. \
+         The latency price of temporal disaggregation shows up inside the run: a \
+         prompt admitted at the start of a prefill phase still waits out the rest \
+         of that phase plus queued peers before its first token (TTFT p99 here is \
+         {:.1}x the mean — whole phase-cycles of spread). Under *online* arrivals \
+         with SLOs, that phase-cycle granularity is the disqualifier; hence the \
+         paper scopes TD-Pipe to offline serving.",
+        tp_hb.report.makespan / td.report.makespan,
+        td_l.ttft_p99 / td_l.ttft_mean
+    );
+}

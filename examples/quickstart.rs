@@ -1,0 +1,44 @@
+//! Quickstart: run TD-Pipe on a synthetic workload in ~20 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tdpipe::core::{TdPipeConfig, TdPipeEngine};
+use tdpipe::hw::NodeSpec;
+use tdpipe::model::ModelSpec;
+use tdpipe::predictor::OraclePredictor;
+use tdpipe::workload::{ShareGptLikeConfig, TraceStats};
+
+fn main() {
+    // 1. A workload: 1,000 ShareGPT-like requests (seeded, reproducible).
+    let trace = ShareGptLikeConfig::small(1_000, 42).generate();
+    println!("workload:\n{}\n", TraceStats::compute(&trace));
+
+    // 2. A deployment: Llama2-13B pipelined over a 4x L20 PCIe node.
+    let engine = TdPipeEngine::new(
+        ModelSpec::llama2_13b(),
+        &NodeSpec::l20(4),
+        TdPipeConfig::default(),
+    )
+    .expect("13B fits four L20s");
+    println!(
+        "KV capacity: {} tokens across {} pipeline stages\n",
+        engine.plan().token_capacity(),
+        engine.cost().num_stages()
+    );
+
+    // 3. Run. The oracle predictor stands in for a trained length
+    //    predictor (see the `length_prediction` example for training one).
+    let outcome = engine.run(&trace, &OraclePredictor);
+
+    println!("result:  {}", outcome.report);
+    println!(
+        "phases:  {} (alternating prefill/decode; see outcome.phases)",
+        outcome.phases.len()
+    );
+    println!(
+        "peak KV occupancy: {:.1}%",
+        outcome.occupancy.peak() * 100.0
+    );
+}

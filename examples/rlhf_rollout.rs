@@ -1,0 +1,87 @@
+//! RLHF rollout scenario (the paper's other §1 motivation: the rollout
+//! stage generates experience in throughput-bound rounds).
+//!
+//! Each PPO iteration sends a fresh batch of prompts through the policy
+//! model and collects full responses; nothing is latency-sensitive, and
+//! the rollout workers sit idle until the *whole* round finishes — exactly
+//! the regime temporal disaggregation targets. This example runs several
+//! rounds, retrains the length predictor between rounds on the lengths
+//! observed so far (the online-adaptation loop µ-Serve-style predictors
+//! enable), and tracks round time.
+//!
+//! ```text
+//! cargo run --release --example rlhf_rollout
+//! ```
+
+use tdpipe::core::{TdPipeConfig, TdPipeEngine};
+use tdpipe::hw::NodeSpec;
+use tdpipe::model::ModelSpec;
+use tdpipe::predictor::classifier::TrainConfig;
+use tdpipe::predictor::{LengthPredictor, OraclePredictor};
+use tdpipe::workload::{ShareGptLikeConfig, Trace};
+
+fn main() {
+    let engine = TdPipeEngine::new(
+        ModelSpec::llama2_13b(),
+        &NodeSpec::a100(4),
+        TdPipeConfig::default(),
+    )
+    .expect("13B fits 4xA100");
+
+    const ROUNDS: usize = 5;
+    const PROMPTS_PER_ROUND: usize = 2_048;
+
+    // Round 0 has no history: fall back to the oracle-free cold start by
+    // training on a small pilot batch generated with the oracle.
+    let pilot = ShareGptLikeConfig::small(2_000, 7).generate();
+    let mut observed: Vec<tdpipe::workload::Request> = pilot.requests().to_vec();
+
+    println!("RLHF rollout: {ROUNDS} rounds x {PROMPTS_PER_ROUND} prompts, 13B policy on 4xA100\n");
+    let mut total_time = 0.0;
+    let mut total_tokens = 0u64;
+    for round in 0..ROUNDS {
+        // Fresh prompts each round (different seed = different mix).
+        let prompts = ShareGptLikeConfig::small(PROMPTS_PER_ROUND, 1000 + round as u64).generate();
+
+        // Retrain the predictor on everything observed so far.
+        let history = Trace::new(observed.clone());
+        let predictor = LengthPredictor::train(
+            &history,
+            &TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
+        );
+
+        let outcome = engine.run(&prompts, &predictor);
+        total_time += outcome.report.makespan;
+        total_tokens += outcome.report.output_tokens;
+        println!(
+            "round {round}: {:7.1}s  {:6.0} gen tok/s  switches {:2}  recompute {:4.1}%",
+            outcome.report.makespan,
+            outcome.report.throughput_output(),
+            outcome.report.phase_switches,
+            outcome.report.recompute_overhead() * 100.0
+        );
+
+        // The completed round's (prompt, response-length) pairs join the
+        // predictor's training history.
+        observed.extend(prompts.requests().iter().cloned());
+    }
+
+    println!(
+        "\ntotal: {:.1}s for {:.2}M generated tokens ({:.0} tok/s sustained)",
+        total_time,
+        total_tokens as f64 / 1e6,
+        total_tokens as f64 / total_time
+    );
+
+    // Reference point: a perfect-information run of the last round.
+    let last = ShareGptLikeConfig::small(PROMPTS_PER_ROUND, 1000 + ROUNDS as u64 - 1).generate();
+    let oracle = engine.run(&last, &OraclePredictor);
+    println!(
+        "oracle-predictor reference on final round: {:.1}s ({}% of trained-predictor time)",
+        oracle.report.makespan,
+        (oracle.report.makespan / (total_time / ROUNDS as f64) * 100.0) as u32
+    );
+}

@@ -1,0 +1,50 @@
+//! Compare TD-Pipe with the four baseline schedulers across the paper's
+//! node/model combinations (a miniature of Figure 11).
+//!
+//! Run with: `cargo run --release --example scheduler_comparison`
+
+use tdpipe::baselines::{PpHbEngine, PpSbEngine, TpHbEngine, TpSbEngine};
+use tdpipe::core::config::EngineConfig;
+use tdpipe::core::{TdPipeConfig, TdPipeEngine};
+use tdpipe::hw::NodeSpec;
+use tdpipe::model::ModelSpec;
+use tdpipe::predictor::OraclePredictor;
+use tdpipe::workload::ShareGptLikeConfig;
+
+fn main() {
+    let trace = ShareGptLikeConfig::small(5000, 42).generate();
+    let cfg = EngineConfig::default();
+    #[allow(clippy::type_complexity)]
+    let combos: [(&str, ModelSpec, fn(u32) -> NodeSpec); 4] = [
+        ("L20+13B", ModelSpec::llama2_13b(), NodeSpec::l20),
+        ("L20+32B", ModelSpec::qwen2_5_32b(), NodeSpec::l20),
+        ("A100+32B", ModelSpec::qwen2_5_32b(), NodeSpec::a100),
+        ("A100+70B", ModelSpec::llama2_70b(), NodeSpec::a100),
+    ];
+    println!("throughput in total tokens/s (prompt+generated); '-' = weights do not fit");
+    for (mname, model, node) in combos {
+        for g in [1u32, 2, 4] {
+            let n = node(g);
+            let mut row = format!("{mname:>9} x{g}:");
+            let results = [
+                ("TP+SB", TpSbEngine::new(model.clone(), &n, cfg.clone())
+                    .map(|e| e.run(&trace, &OraclePredictor).report.throughput_total())),
+                ("TP+HB", TpHbEngine::new(model.clone(), &n, cfg.clone())
+                    .map(|e| e.run(&trace, &OraclePredictor).report.throughput_total())),
+                ("PP+SB", PpSbEngine::new(model.clone(), &n, cfg.clone())
+                    .map(|e| e.run(&trace, &OraclePredictor).report.throughput_total())),
+                ("PP+HB", PpHbEngine::new(model.clone(), &n, cfg.clone())
+                    .map(|e| e.run(&trace, &OraclePredictor).report.throughput_total())),
+                ("TD-Pipe", TdPipeEngine::new(model.clone(), &n, TdPipeConfig::default())
+                    .map(|e| e.run(&trace, &OraclePredictor).report.throughput_total())),
+            ];
+            for (name, r) in results {
+                match r {
+                    Ok(v) => row += &format!("  {name}={v:6.0}"),
+                    Err(_) => row += &format!("  {name}=     -"),
+                }
+            }
+            println!("{row}");
+        }
+    }
+}

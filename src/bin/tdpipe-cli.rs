@@ -1,0 +1,266 @@
+//! `tdpipe-cli` — run simulated deployments from the command line.
+//!
+//! ```text
+//! tdpipe-cli run   --model 32b --node a100 --gpus 4 --scheduler td --requests 2000
+//! tdpipe-cli plan  --model 70b --node l20 --gpus 4
+//! tdpipe-cli trace --requests 5000 --seed 42
+//! tdpipe-cli sweep --model 13b --node l20 --requests 1000
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace deliberately sticks to
+//! its small dependency set).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use tdpipe::baselines::{PpHbEngine, PpSbEngine, TpHbEngine, TpSbEngine};
+use tdpipe::core::config::EngineConfig;
+use tdpipe::core::{TdPipeConfig, TdPipeEngine};
+use tdpipe::hw::NodeSpec;
+use tdpipe::model::ModelSpec;
+use tdpipe::predictor::classifier::TrainConfig;
+use tdpipe::predictor::{LengthPredictor, OraclePredictor, OutputLenPredictor};
+use tdpipe::sim::RunReport;
+use tdpipe::workload::{ShareGptLikeConfig, Trace, TraceStats};
+
+const USAGE: &str = "\
+tdpipe-cli — TD-Pipe simulation driver
+
+USAGE:
+  tdpipe-cli run   [--model 13b|32b|70b|30b] [--node l20|a100] [--gpus N]
+                   [--scheduler td|tp-sb|tp-hb|pp-sb|pp-hb]
+                   [--requests N] [--seed S] [--predictor oracle|trained]
+  tdpipe-cli plan  [--model ...] [--node ...] [--gpus N]
+  tdpipe-cli trace [--requests N] [--seed S]
+  tdpipe-cli sweep [--model ...] [--node ...] [--gpus N] [--requests N]
+
+Defaults: --model 13b --node l20 --gpus 4 --scheduler td --requests 1000
+          --seed 42 --predictor oracle
+";
+
+struct Args(HashMap<String, String>);
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            let val = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_string(), val.clone());
+        }
+        Ok(Args(map))
+    }
+
+    fn get(&self, key: &str, default: &str) -> String {
+        self.0.get(key).cloned().unwrap_or_else(|| default.into())
+    }
+
+    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+        }
+    }
+}
+
+fn model_of(name: &str) -> Result<ModelSpec, String> {
+    Ok(match name {
+        "13b" => ModelSpec::llama2_13b(),
+        "32b" => ModelSpec::qwen2_5_32b(),
+        "70b" => ModelSpec::llama2_70b(),
+        "30b" => ModelSpec::llama_30b(),
+        other => return Err(format!("unknown model '{other}' (13b|32b|70b|30b)")),
+    })
+}
+
+fn node_of(name: &str, gpus: u32) -> Result<NodeSpec, String> {
+    Ok(match name {
+        "l20" => NodeSpec::l20(gpus),
+        "a100" => NodeSpec::a100(gpus),
+        other => return Err(format!("unknown node '{other}' (l20|a100)")),
+    })
+}
+
+fn run_one(
+    scheduler: &str,
+    model: &ModelSpec,
+    node: &NodeSpec,
+    trace: &Trace,
+    predictor: &dyn OutputLenPredictor,
+) -> Result<RunReport, String> {
+    let cfg = EngineConfig::default();
+    let feasibility = |e: tdpipe::core::engine::InfeasibleConfig| e.to_string();
+    Ok(match scheduler {
+        "td" => TdPipeEngine::new(model.clone(), node, TdPipeConfig::default())
+            .map_err(feasibility)?
+            .run(trace, predictor)
+            .report,
+        "tp-sb" => TpSbEngine::new(model.clone(), node, cfg)
+            .map_err(feasibility)?
+            .run(trace, predictor)
+            .report,
+        "tp-hb" => TpHbEngine::new(model.clone(), node, cfg)
+            .map_err(feasibility)?
+            .run(trace, predictor)
+            .report,
+        "pp-sb" => PpSbEngine::new(model.clone(), node, cfg)
+            .map_err(feasibility)?
+            .run(trace, predictor)
+            .report,
+        "pp-hb" => PpHbEngine::new(model.clone(), node, cfg)
+            .map_err(feasibility)?
+            .run(trace, predictor)
+            .report,
+        other => return Err(format!("unknown scheduler '{other}'")),
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match real_main(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("missing command".into());
+    };
+    let args = Args::parse(rest)?;
+    let model = model_of(&args.get("model", "13b"))?;
+    let gpus = args.usize("gpus", 4)? as u32;
+    let node = node_of(&args.get("node", "l20"), gpus)?;
+    let requests = args.usize("requests", 1000)?;
+    let seed = args.usize("seed", 42)? as u64;
+
+    match cmd.as_str() {
+        "run" => {
+            let trace = ShareGptLikeConfig::small(requests, seed).generate();
+            let predictor: Box<dyn OutputLenPredictor> = match args.get("predictor", "oracle").as_str() {
+                "oracle" => Box::new(OraclePredictor),
+                "trained" => {
+                    eprintln!("training length predictor on historical trace...");
+                    let hist = ShareGptLikeConfig::small(30_000, seed ^ 0xABCD).generate();
+                    Box::new(LengthPredictor::train(
+                        &hist.split(7).train,
+                        &TrainConfig::default(),
+                    ))
+                }
+                other => return Err(format!("unknown predictor '{other}'")),
+            };
+            let report = run_one(
+                &args.get("scheduler", "td"),
+                &model,
+                &node,
+                &trace,
+                predictor.as_ref(),
+            )?;
+            println!("{report}");
+            if let Some(l) = report.latency {
+                println!(
+                    "latency: TTFT mean {:.1}s p99 {:.1}s | completion p50 {:.1}s p99 {:.1}s",
+                    l.ttft_mean, l.ttft_p99, l.completion_p50, l.completion_p99
+                );
+            }
+        }
+        "plan" => {
+            use tdpipe::core::MemoryPlan;
+            println!("model  : {} ({:.1} GB weights)", model.name, model.weight_bytes() as f64 / 1e9);
+            println!("node   : {}x {} ({} GB each)", gpus, node.gpu.name, node.gpu.mem_bytes >> 30);
+            let e = EngineConfig::default();
+            match MemoryPlan::pipeline(&model, &node, e.block_size, e.mem_reserve_bytes) {
+                Some(p) => println!(
+                    "PP plan: {} KV blocks = {} tokens (binding stage)",
+                    p.kv_blocks,
+                    p.token_capacity()
+                ),
+                None => println!("PP plan: infeasible (stage weights overflow)"),
+            }
+            match MemoryPlan::tensor(&model, &node, e.block_size, e.mem_reserve_bytes) {
+                Some(p) => println!(
+                    "TP plan: {} KV blocks = {} tokens (pooled)",
+                    p.kv_blocks,
+                    p.token_capacity()
+                ),
+                None => println!("TP plan: infeasible (weight shard overflows)"),
+            }
+        }
+        "trace" => {
+            let trace = ShareGptLikeConfig::small(requests, seed).generate();
+            println!("{}", TraceStats::compute(&trace));
+        }
+        "sweep" => {
+            let trace = ShareGptLikeConfig::small(requests, seed).generate();
+            for s in ["tp-sb", "tp-hb", "pp-sb", "pp-hb", "td"] {
+                match run_one(s, &model, &node, &trace, &OraclePredictor) {
+                    Ok(r) => println!("{r}"),
+                    Err(e) => println!("{s:<10} {e}"),
+                }
+            }
+        }
+        other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = Args::parse(&args("--model 32b --gpus 8")).unwrap();
+        assert_eq!(a.get("model", "13b"), "32b");
+        assert_eq!(a.usize("gpus", 4).unwrap(), 8);
+        assert_eq!(a.usize("requests", 1000).unwrap(), 1000);
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(Args::parse(&args("model 32b")).is_err());
+        assert!(Args::parse(&args("--gpus")).is_err());
+        let a = Args::parse(&args("--gpus eight")).unwrap();
+        assert!(a.usize("gpus", 4).is_err());
+    }
+
+    #[test]
+    fn model_and_node_lookup() {
+        assert_eq!(model_of("70b").unwrap().layers, 80);
+        assert!(model_of("420b").is_err());
+        assert_eq!(node_of("a100", 2).unwrap().num_gpus, 2);
+        assert!(node_of("tpu", 1).is_err());
+    }
+
+    #[test]
+    fn run_one_dispatches_and_reports_infeasible() {
+        let trace = ShareGptLikeConfig::small(12, 1).generate();
+        let model = model_of("13b").unwrap();
+        let node = node_of("l20", 2).unwrap();
+        for s in ["td", "tp-sb", "tp-hb", "pp-sb", "pp-hb"] {
+            let r = run_one(s, &model, &node, &trace, &OraclePredictor).unwrap();
+            assert_eq!(r.num_requests, 12, "{s}");
+        }
+        assert!(run_one("magic", &model, &node, &trace, &OraclePredictor).is_err());
+        let err = run_one(
+            "td",
+            &model_of("70b").unwrap(),
+            &node_of("l20", 1).unwrap(),
+            &trace,
+            &OraclePredictor,
+        )
+        .unwrap_err();
+        assert!(err.contains("infeasible"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # TD-Pipe
+//!
+//! Facade crate re-exporting the full TD-Pipe workspace: a reproduction of
+//! *"TD-Pipe: Temporally-Disaggregated Pipeline Parallelism Architecture
+//! for High-Throughput LLM Inference"* (ICPP 2025) built on a deterministic
+//! discrete-event multi-GPU simulator.
+//!
+//! See the individual crates for details:
+//!
+//! * [`model`] — transformer architecture descriptions and FLOP/byte math
+//! * [`hw`] — GPU/interconnect performance models (paper Table 1)
+//! * [`sim`] — discrete-event simulation engine and timeline metrics
+//! * [`workload`] — synthetic ShareGPT-like request traces
+//! * [`predictor`] — output-length prediction (µ-Serve-style buckets)
+//! * [`kvcache`] — paged KV-cache block allocator
+//! * [`runtime`] — hierarchy-controller (engine + SPMD workers)
+//! * [`core`] — the TD-Pipe scheduler itself
+//! * [`baselines`] — TP+SB, TP+HB, PP+SB, PP+HB reference schedulers
+//! * [`offload`] — KV-offloading engine + PCIe contention model (§2.2.2)
+
+pub use tdpipe_baselines as baselines;
+pub use tdpipe_core as core;
+pub use tdpipe_hw as hw;
+pub use tdpipe_kvcache as kvcache;
+pub use tdpipe_model as model;
+pub use tdpipe_offload as offload;
+pub use tdpipe_predictor as predictor;
+pub use tdpipe_runtime as runtime;
+pub use tdpipe_sim as sim;
+pub use tdpipe_workload as workload;

@@ -1,0 +1,100 @@
+//! Determinism and seed-sensitivity across the whole stack.
+
+use tdpipe::core::{TdPipeConfig, TdPipeEngine};
+use tdpipe::hw::NodeSpec;
+use tdpipe::model::ModelSpec;
+use tdpipe::predictor::classifier::TrainConfig;
+use tdpipe::predictor::{LengthPredictor, OraclePredictor};
+use tdpipe::workload::ShareGptLikeConfig;
+
+#[test]
+fn end_to_end_run_is_bitwise_deterministic() {
+    let trace = ShareGptLikeConfig::small(200, 77).generate();
+    let run = || {
+        TdPipeEngine::new(
+            ModelSpec::llama2_13b(),
+            &NodeSpec::l20(4),
+            TdPipeConfig::default(),
+        )
+        .unwrap()
+        .run(&trace, &OraclePredictor)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.phases.len(), b.phases.len());
+    assert_eq!(a.occupancy.samples().len(), b.occupancy.samples().len());
+}
+
+#[test]
+fn trained_predictor_pipeline_is_deterministic() {
+    let data = ShareGptLikeConfig::small(6_000, 13).generate();
+    let splits = data.split(13);
+    let cfg = TrainConfig {
+        epochs: 3,
+        ..TrainConfig::default()
+    };
+    let p1 = LengthPredictor::train(&splits.train, &cfg);
+    let p2 = LengthPredictor::train(&splits.train, &cfg);
+    assert_eq!(p1, p2);
+
+    let trace = ShareGptLikeConfig::small(150, 3).generate();
+    let engine = TdPipeEngine::new(
+        ModelSpec::llama2_13b(),
+        &NodeSpec::l20(2),
+        TdPipeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        engine.run(&trace, &p1).report,
+        engine.run(&trace, &p2).report
+    );
+}
+
+#[test]
+fn different_workload_seeds_change_results() {
+    let engine = TdPipeEngine::new(
+        ModelSpec::llama2_13b(),
+        &NodeSpec::l20(2),
+        TdPipeConfig::default(),
+    )
+    .unwrap();
+    let a = engine.run(
+        &ShareGptLikeConfig::small(200, 1).generate(),
+        &OraclePredictor,
+    );
+    let b = engine.run(
+        &ShareGptLikeConfig::small(200, 2).generate(),
+        &OraclePredictor,
+    );
+    assert_ne!(a.report.makespan, b.report.makespan);
+}
+
+#[test]
+fn predictor_quality_degrades_gracefully_not_catastrophically() {
+    // The engine must complete correctly even with a terrible predictor
+    // (here: one that always predicts a single token), just with more
+    // recompute waste than the oracle.
+    struct AlwaysOne;
+    impl tdpipe::predictor::OutputLenPredictor for AlwaysOne {
+        fn predict(&self, _r: &tdpipe::workload::Request) -> u32 {
+            1
+        }
+    }
+    let trace = ShareGptLikeConfig::small(300, 9).generate();
+    let engine = TdPipeEngine::new(
+        ModelSpec::llama2_13b(),
+        &NodeSpec::l20(2),
+        TdPipeConfig::default(),
+    )
+    .unwrap();
+    let bad = engine.run(&trace, &AlwaysOne);
+    let good = engine.run(&trace, &OraclePredictor);
+    assert_eq!(bad.report.output_tokens, good.report.output_tokens);
+    assert!(
+        bad.report.recompute_overhead() >= good.report.recompute_overhead(),
+        "underprediction must not reduce recompute ({} vs {})",
+        bad.report.recompute_overhead(),
+        good.report.recompute_overhead()
+    );
+}
