@@ -9,10 +9,23 @@
 //! between schedulers. (That static binding is precisely the inter-batch
 //! imbalance TD-Pipe's work stealing repairs.)
 
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use tdpipe_core::config::EngineConfig;
+use tdpipe_core::cost::StagedJob;
 use tdpipe_core::request::RequestPool;
 use tdpipe_kvcache::BlockAllocator;
+
+/// Per-run scratch buffers reused across scheduler iterations so the
+/// steady-state baseline loops allocate nothing per launch.
+#[derive(Default)]
+pub struct Scratch {
+    /// Prefill sequence lengths for the next launch.
+    pub lens: Vec<u32>,
+    /// Hybrid-batching `(chunk_len, cached_prefix)` pairs.
+    pub chunks: Vec<(u32, u32)>,
+    /// Staged pipeline job reused across launches.
+    pub job: StagedJob,
+}
 
 /// One scheduler instance's memory + admission queue.
 pub struct Lane {
@@ -43,6 +56,11 @@ pub struct RunState {
     /// Admission sequence per request (newest-first eviction order).
     pub admission_seq: Vec<u64>,
     next_seq: u64,
+    /// Eviction scratch: lazy max-heap of `(admission_seq, position)` built
+    /// on the first overflow of a decode step.
+    evict_heap: BinaryHeap<(u64, usize)>,
+    /// Eviction scratch: positions already evicted this step.
+    evicted: Vec<bool>,
 }
 
 impl RunState {
@@ -53,6 +71,8 @@ impl RunState {
             pool,
             admission_seq: vec![0; n],
             next_seq: 0,
+            evict_heap: BinaryHeap::new(),
+            evicted: Vec::new(),
         }
     }
 
@@ -69,7 +89,13 @@ impl RunState {
         let per_lane = total_blocks / lanes as u64;
         queues
             .into_iter()
-            .map(|q| Lane::new(per_lane, cfg.block_size, q, cfg.watermark))
+            .map(|q| {
+                let mut lane = Lane::new(per_lane, cfg.block_size, q, cfg.watermark);
+                // Ids are pool indices; pre-size each lane's residency
+                // table so allocation never grows it mid-run.
+                lane.alloc.reserve_ids(self.pool.len());
+                lane
+            })
             .collect()
     }
 
@@ -114,8 +140,24 @@ impl RunState {
         max_new: usize,
         now: f64,
     ) -> (Vec<usize>, Vec<u32>) {
-        let mut batch = Vec::new();
         let mut lens = Vec::new();
+        let batch = self.pack_prefill_batch_into(lane, token_budget, max_new, now, &mut lens);
+        (batch, lens)
+    }
+
+    /// [`Self::pack_prefill_batch`] writing the sequence lengths into a
+    /// caller-owned scratch buffer (the batch itself is returned by value —
+    /// it travels into the engine's in-flight queue).
+    pub fn pack_prefill_batch_into(
+        &mut self,
+        lane: &mut Lane,
+        token_budget: u32,
+        max_new: usize,
+        now: f64,
+        lens: &mut Vec<u32>,
+    ) -> Vec<usize> {
+        let mut batch = Vec::new();
+        lens.clear();
         let mut tokens = 0u32;
         while batch.len() < max_new && self.head_fits(lane) {
             let head = *lane.pending.front().expect("head fits");
@@ -131,7 +173,7 @@ impl RunState {
             lens.push(t);
             tokens += t;
         }
-        (batch, lens)
+        batch
     }
 
     /// Post-step bookkeeping for a decode batch living in `lane`: every
@@ -142,37 +184,93 @@ impl RunState {
     ///
     /// Returns the number of requests that finished.
     pub fn advance_decode(&mut self, lane: &mut Lane, members: &mut Vec<usize>, now: f64) -> usize {
+        let mut ctx: u64 = members
+            .iter()
+            .map(|&m| self.pool.get(m).resident_tokens())
+            .sum();
+        self.advance_decode_ctx(lane, members, now, &mut ctx)
+    }
+
+    /// [`Self::advance_decode`] that also keeps the batch's running
+    /// context-token total consistent: on entry `ctx` must equal the sum of
+    /// `resident_tokens` over `members`; on exit it equals the sum over the
+    /// survivors. This is what lets the engines price decode launches
+    /// without rescanning their resident sets every step.
+    pub fn advance_decode_ctx(
+        &mut self,
+        lane: &mut Lane,
+        members: &mut Vec<usize>,
+        now: f64,
+        ctx: &mut u64,
+    ) -> usize {
         let mut finished_now = 0usize;
+        // Every member generates one token this step.
+        *ctx += members.len() as u64;
         let pool = &mut self.pool;
         let alloc = &mut lane.alloc;
         members.retain(|&idx| {
             if pool.note_decode_step(idx, now) {
-                alloc.free(idx as u64).expect("finished request resident");
+                // The allocation lags the just-generated token by one.
+                let freed = alloc.free(idx as u64).expect("finished request resident");
+                *ctx -= freed + 1;
                 finished_now += 1;
                 false
             } else {
                 true
             }
         });
+        // Extend survivors' KV; evict newest-first on overflow (§4.1
+        // recompute). Overflow is rare, so the victim order is built
+        // lazily: a max-heap over `admission_seq` (unique, so the peel
+        // order matches the old per-victim max scan exactly) with lazy
+        // deletion — O(log n) per eviction instead of O(n).
         let mut i = 0;
+        let mut heap_built = false;
         while i < members.len() {
+            if heap_built && self.evicted[i] {
+                i += 1;
+                continue;
+            }
             let idx = members[i];
             if lane.alloc.extend(idx as u64, 1).is_ok() {
                 i += 1;
                 continue;
             }
-            let (pos, &victim) = members
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &m)| self.admission_seq[m])
-                .expect("members nonempty while extend fails");
+            if !heap_built {
+                self.evicted.clear();
+                self.evicted.resize(members.len(), false);
+                self.evict_heap.clear();
+                let seq = &self.admission_seq;
+                self.evict_heap
+                    .extend(members.iter().enumerate().map(|(p, &m)| (seq[m], p)));
+                heap_built = true;
+            }
+            // Evict the newest member (possibly `idx` itself).
+            let pos = loop {
+                let (_, p) = self.evict_heap.pop().expect("live member to evict");
+                if !self.evicted[p] {
+                    break p;
+                }
+            };
+            let victim = members[pos];
+            self.evicted[pos] = true;
             lane.alloc.free(victim as u64).expect("victim resident");
+            *ctx -= self.pool.get(victim).resident_tokens();
             self.pool.note_eviction(victim);
             lane.pending.push_front(victim);
-            members.remove(pos);
-            if pos < i {
-                i -= 1;
-            }
+            // `idx` may have been the victim; the `evicted` check at the
+            // loop head re-routes, otherwise retry this slot.
+        }
+        if heap_built {
+            // Compact the survivors in order (one pass, instead of a
+            // `Vec::remove` per victim).
+            let mut p = 0;
+            let evicted = &self.evicted;
+            members.retain(|_| {
+                let keep = !evicted[p];
+                p += 1;
+                keep
+            });
         }
         finished_now
     }

@@ -1,6 +1,6 @@
 //! PP+HB: pipeline parallelism with chunked-prefill hybrid batching.
 
-use crate::common::{Lane, RunState};
+use crate::common::{Lane, RunState, Scratch};
 use crate::tp_sb::BaselineOutcome;
 use std::collections::VecDeque;
 use tdpipe_core::config::EngineConfig;
@@ -19,6 +19,8 @@ use tdpipe_workload::Trace;
 #[derive(Default)]
 struct Slot {
     residents: Vec<usize>,
+    /// Running context-token total over `residents` (no per-step rescan).
+    ctx: u64,
     /// `(pool index, prompt tokens already chunked)`.
     prefilling: VecDeque<(usize, u32)>,
     busy: bool,
@@ -69,13 +71,15 @@ impl PpHbEngine {
         st: &mut RunState,
         sim: &mut PipelineSim,
         inflight: &mut VecDeque<(usize, f64, Vec<usize>)>,
+        scratch: &mut Scratch,
         now: f64,
     ) -> bool {
         debug_assert!(!slot.busy);
         let max_seqs = self.cfg.max_num_seqs.unwrap_or(usize::MAX);
         let decode_b = slot.residents.len();
         let mut budget = self.cfg.chunk_token_budget.saturating_sub(decode_b as u32);
-        let mut chunks: Vec<(u32, u32)> = Vec::new();
+        let chunks = &mut scratch.chunks;
+        chunks.clear();
         let mut completed: Vec<usize> = Vec::new();
         while budget > 0 {
             if slot.prefilling.is_empty() {
@@ -108,18 +112,15 @@ impl PpHbEngine {
         if decode_b == 0 && chunks.is_empty() {
             return false; // dormant
         }
-        let ctx: u64 = slot
-            .residents
-            .iter()
-            .map(|&i| st.pool.get(i).resident_tokens())
-            .sum();
-        let job = self.cost.hybrid_job(
+        self.cost.hybrid_job_into(
             decode_b,
-            ctx,
-            &chunks,
+            slot.ctx,
+            chunks,
             completed.len(),
             self.cfg.hybrid_overlap,
+            &mut scratch.job,
         );
+        let job = &scratch.job;
         let kind = if decode_b > 0 && !chunks.is_empty() {
             SegmentKind::Hybrid
         } else if decode_b > 0 {
@@ -156,6 +157,7 @@ impl PpHbEngine {
         let mut sim = PipelineSim::new(n as u32, self.cfg.transfer_mode, self.cfg.record_timeline);
         let mut slots: Vec<Slot> = (0..n).map(|_| Slot::default()).collect();
         let mut inflight: VecDeque<(usize, f64, Vec<usize>)> = VecDeque::new();
+        let mut scratch = Scratch::default();
         let mut ctrl = ControlPlane::new(&self.cfg);
         let mut now = 0.0f64;
 
@@ -166,7 +168,7 @@ impl PpHbEngine {
                     break;
                 }
                 if !slots[sid].busy {
-                    self.schedule(sid, &mut slots[sid], &mut lanes[sid], &mut st, &mut sim, &mut inflight, now);
+                    self.schedule(sid, &mut slots[sid], &mut lanes[sid], &mut st, &mut sim, &mut inflight, &mut scratch, now);
                 }
             }
             if !inflight.is_empty() || st.pool.all_finished() {
@@ -188,12 +190,15 @@ impl PpHbEngine {
             slots[sid].busy = false;
             now = ctrl.process(finish, slots[sid].residents.len() + completed.len());
             let mut members = std::mem::take(&mut slots[sid].residents);
-            st.advance_decode(&mut lanes[sid], &mut members, finish);
+            let mut ctx = slots[sid].ctx;
+            st.advance_decode_ctx(&mut lanes[sid], &mut members, finish, &mut ctx);
             for &idx in &completed {
                 st.pool.note_first_token(idx, finish);
+                ctx += st.pool.get(idx).resident_tokens();
             }
             members.extend(completed);
             slots[sid].residents = members;
+            slots[sid].ctx = ctx;
             // Round-robin over virtual engines, keeping at most
             // `pp_inflight_limit` micro-batches in flight.
             for off in 1..=n {
@@ -202,7 +207,7 @@ impl PpHbEngine {
                 }
                 let s = (sid + off) % n;
                 if !slots[s].busy {
-                    self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, now);
+                    self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, now);
                 }
             }
             if inflight.is_empty() && !st.pool.all_finished() {
@@ -219,7 +224,7 @@ impl PpHbEngine {
                             break;
                         }
                         if !slots[s].busy {
-                            self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, now);
+                            self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, now);
                         }
                     }
                     if !inflight.is_empty() {

@@ -1,7 +1,7 @@
 //! PP+SB: pipeline parallelism with separate batching (vLLM virtual
 //! engines).
 
-use crate::common::{Lane, RunState};
+use crate::common::{Lane, RunState, Scratch};
 use crate::tp_sb::BaselineOutcome;
 use std::collections::VecDeque;
 use tdpipe_core::config::EngineConfig;
@@ -28,6 +28,8 @@ enum JobKind {
 #[derive(Default)]
 struct Slot {
     residents: Vec<usize>,
+    /// Running context-token total over `residents` (no per-step rescan).
+    ctx: u64,
     busy: bool,
 }
 
@@ -82,6 +84,7 @@ impl PpSbEngine {
         st: &mut RunState,
         sim: &mut PipelineSim,
         inflight: &mut VecDeque<(usize, f64, JobKind)>,
+        scratch: &mut Scratch,
         now: f64,
     ) -> bool {
         debug_assert!(!slot.busy);
@@ -91,25 +94,24 @@ impl PpSbEngine {
             .front()
             .is_some_and(|&i| st.pool.get(i).arrival <= now);
         if head_arrived && slot.residents.len() < max_seqs && st.head_fits(lane) {
-            let (batch, lens) = st.pack_prefill_batch(
+            let batch = st.pack_prefill_batch_into(
                 lane,
                 self.cfg.prefill_token_budget,
                 max_seqs - slot.residents.len(),
                 now,
+                &mut scratch.lens,
             );
             debug_assert!(!batch.is_empty());
-            let job = self.cost.prefill_job(&lens);
+            self.cost.prefill_job_into(&scratch.lens, &mut scratch.job);
+            let job = &scratch.job;
             let t = sim.launch(now, &job.exec, &job.xfer, SegmentKind::Prefill, sid as u64);
             inflight.push_back((sid, t.finish, JobKind::Prefilled(batch)));
             slot.busy = true;
             true
         } else if !slot.residents.is_empty() {
-            let ctx: u64 = slot
-                .residents
-                .iter()
-                .map(|&i| st.pool.get(i).resident_tokens())
-                .sum();
-            let job = self.cost.decode_job(slot.residents.len(), ctx);
+            self.cost
+                .decode_job_into(slot.residents.len(), slot.ctx, &mut scratch.job);
+            let job = &scratch.job;
             let t = sim.launch(now, &job.exec, &job.xfer, SegmentKind::Decode, sid as u64);
             inflight.push_back((sid, t.finish, JobKind::Decoded));
             slot.busy = true;
@@ -142,6 +144,7 @@ impl PpSbEngine {
         let mut sim = PipelineSim::new(n as u32, self.cfg.transfer_mode, self.cfg.record_timeline);
         let mut slots: Vec<Slot> = (0..n).map(|_| Slot::default()).collect();
         let mut inflight: VecDeque<(usize, f64, JobKind)> = VecDeque::new();
+        let mut scratch = Scratch::default();
         let mut ctrl = ControlPlane::new(&self.cfg);
         let mut now = 0.0f64;
 
@@ -152,7 +155,7 @@ impl PpSbEngine {
                     break;
                 }
                 if !slots[sid].busy {
-                    self.schedule(sid, &mut slots[sid], &mut lanes[sid], &mut st, &mut sim, &mut inflight, now);
+                    self.schedule(sid, &mut slots[sid], &mut lanes[sid], &mut st, &mut sim, &mut inflight, &mut scratch, now);
                 }
             }
             if !inflight.is_empty() || st.pool.all_finished() {
@@ -181,13 +184,16 @@ impl PpSbEngine {
                 JobKind::Prefilled(batch) => {
                     for &idx in &batch {
                         st.pool.note_first_token(idx, finish);
+                        slots[sid].ctx += st.pool.get(idx).resident_tokens();
                     }
                     slots[sid].residents.extend(batch)
                 }
                 JobKind::Decoded => {
                     let mut members = std::mem::take(&mut slots[sid].residents);
-                    st.advance_decode(&mut lanes[sid], &mut members, finish);
+                    let mut ctx = slots[sid].ctx;
+                    st.advance_decode_ctx(&mut lanes[sid], &mut members, finish, &mut ctx);
                     slots[sid].residents = members;
+                    slots[sid].ctx = ctx;
                 }
             }
             // Round-robin over virtual engines, keeping at most
@@ -198,7 +204,7 @@ impl PpSbEngine {
                 }
                 let s = (sid + off) % n;
                 if !slots[s].busy {
-                    self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, now);
+                    self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, now);
                 }
             }
             if inflight.is_empty() && !st.pool.all_finished() {
@@ -215,7 +221,7 @@ impl PpSbEngine {
                             break;
                         }
                         if !slots[s].busy {
-                            self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, now);
+                            self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, now);
                         }
                     }
                     if !inflight.is_empty() {

@@ -78,8 +78,14 @@ impl TpHbEngine {
             .expect("one lane");
         let mut sim = PipelineSim::new(1, TransferMode::Async, self.cfg.record_timeline);
         let mut residents: Vec<usize> = Vec::new();
+        // Running context-token total over `residents`, maintained
+        // incrementally (no per-step rescan).
+        let mut ctx: u64 = 0;
         // Admitted requests whose prompt is partially chunked: (idx, done).
         let mut prefilling: VecDeque<(usize, u32)> = VecDeque::new();
+        // Per-iteration scratch, reused across the loop.
+        let mut chunks: Vec<(u32, u32)> = Vec::new();
+        let mut completed: Vec<usize> = Vec::new();
         let mut ctrl = ControlPlane::new(&self.cfg);
         let mut now = 0.0f64;
         let max_seqs = self.cfg.max_num_seqs.unwrap_or(usize::MAX);
@@ -89,8 +95,8 @@ impl TpHbEngine {
             let decode_b = residents.len();
             let mut budget = self.cfg.chunk_token_budget.saturating_sub(decode_b as u32);
             // Prefill chunks fill the remaining budget.
-            let mut chunks: Vec<(u32, u32)> = Vec::new();
-            let mut completed: Vec<usize> = Vec::new();
+            chunks.clear();
+            completed.clear();
             while budget > 0 {
                 if prefilling.is_empty() {
                     let head_arrived = lane
@@ -136,10 +142,6 @@ impl TpHbEngine {
                 );
             }
 
-            let ctx: u64 = residents
-                .iter()
-                .map(|&i| st.pool.get(i).resident_tokens())
-                .sum();
             let t = self.cost.hybrid_time(
                 decode_b,
                 ctx,
@@ -157,11 +159,12 @@ impl TpHbEngine {
             let timing = sim.launch_monolithic(now, t, kind, 0);
             now = ctrl.process(timing.finish, decode_b + chunks.len());
 
-            st.advance_decode(&mut lane, &mut residents, timing.finish);
+            st.advance_decode_ctx(&mut lane, &mut residents, timing.finish, &mut ctx);
             for &idx in &completed {
                 st.pool.note_first_token(idx, timing.finish);
+                ctx += st.pool.get(idx).resident_tokens();
             }
-            residents.extend(completed);
+            residents.extend(completed.iter().copied());
         }
 
         st.pool.assert_conserved();

@@ -87,6 +87,10 @@ impl TpSbEngine {
             .expect("one lane");
         let mut sim = PipelineSim::new(1, TransferMode::Async, self.cfg.record_timeline);
         let mut residents: Vec<usize> = Vec::new();
+        // Running context-token total over `residents`, maintained
+        // incrementally (no per-step rescan).
+        let mut ctx: u64 = 0;
+        let mut lens: Vec<u32> = Vec::new();
         let mut ctrl = ControlPlane::new(&self.cfg);
         let mut now = 0.0f64;
         let max_seqs = self.cfg.max_num_seqs.unwrap_or(usize::MAX);
@@ -98,29 +102,27 @@ impl TpSbEngine {
                 .is_some_and(|&i| st.pool.get(i).arrival <= now);
             if head_arrived && residents.len() < max_seqs && st.head_fits(&lane) {
                 // Prefill priority (vLLM separate batching).
-                let (batch, lens) = st.pack_prefill_batch(
+                let batch = st.pack_prefill_batch_into(
                     &mut lane,
                     self.cfg.prefill_token_budget,
                     max_seqs - residents.len(),
                     now,
+                    &mut lens,
                 );
                 debug_assert!(!batch.is_empty());
                 let t = self.cost.prefill_time(&lens);
                 let timing = sim.launch_monolithic(now, t, SegmentKind::Prefill, 0);
                 for &idx in &batch {
                     st.pool.note_first_token(idx, timing.finish);
+                    ctx += st.pool.get(idx).resident_tokens();
                 }
                 now = ctrl.process(timing.finish, batch.len());
                 residents.extend(batch);
             } else if !residents.is_empty() {
-                let ctx: u64 = residents
-                    .iter()
-                    .map(|&i| st.pool.get(i).resident_tokens())
-                    .sum();
                 let t = self.cost.decode_time(residents.len(), ctx);
                 let timing = sim.launch_monolithic(now, t, SegmentKind::Decode, 1);
                 now = ctrl.process(timing.finish, residents.len());
-                st.advance_decode(&mut lane, &mut residents, timing.finish);
+                st.advance_decode_ctx(&mut lane, &mut residents, timing.finish, &mut ctx);
             } else {
                 let idx = *lane.pending.front().expect("unfinished implies pending");
                 if st.pool.get(idx).arrival > now {

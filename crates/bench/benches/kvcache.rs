@@ -2,12 +2,70 @@
 //! every engine calls `extend` once per request.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashMap;
 use tdpipe_kvcache::BlockAllocator;
 
 fn resident_pool(n: u64) -> BlockAllocator {
     let mut a = BlockAllocator::new(1_000_000, 16);
     for id in 0..n {
         a.allocate(id, 300).unwrap();
+    }
+    a
+}
+
+/// The pre-refactor residency table — a `HashMap` keyed by request id —
+/// kept here as the comparison baseline for the flat-`Vec` allocator. Only
+/// the `extend` path is reproduced: it is the call the simulator makes
+/// once per surviving batch member per decode step.
+struct HashMapPool {
+    block_size: u64,
+    num_blocks: u64,
+    used_blocks: u64,
+    /// `id -> (tokens, blocks)`.
+    residents: HashMap<u64, (u64, u64)>,
+}
+
+impl HashMapPool {
+    fn new(num_blocks: u64, block_size: u64) -> Self {
+        HashMapPool {
+            block_size,
+            num_blocks,
+            used_blocks: 0,
+            residents: HashMap::new(),
+        }
+    }
+
+    fn allocate(&mut self, id: u64, tokens: u64) {
+        let blocks = tokens.div_ceil(self.block_size);
+        self.used_blocks += blocks;
+        self.residents.insert(id, (tokens, blocks));
+    }
+
+    fn extend(&mut self, id: u64, additional: u64) -> Result<(), ()> {
+        let free = self.num_blocks - self.used_blocks;
+        let (tokens, blocks) = self.residents.get_mut(&id).ok_or(())?;
+        let new_blocks = (*tokens + additional).div_ceil(self.block_size);
+        let extra = new_blocks - *blocks;
+        if extra > free {
+            return Err(());
+        }
+        *tokens += additional;
+        *blocks = new_blocks;
+        self.used_blocks += extra;
+        Ok(())
+    }
+
+    fn free(&mut self, id: u64) -> u64 {
+        let (tokens, blocks) = self.residents.remove(&id).expect("resident");
+        self.used_blocks -= blocks;
+        tokens
+    }
+}
+
+fn hashmap_pool(n: u64) -> HashMapPool {
+    let mut a = HashMapPool::new(1_000_000, 16);
+    for id in 0..n {
+        a.allocate(id, 300);
     }
     a
 }
@@ -54,6 +112,55 @@ fn bench_kvcache(c: &mut Criterion) {
                 let _ = black_box(a.free_blocks());
                 for id in 0..512u64 {
                     a.extend(id, 1).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // The same extend loop through the pre-refactor HashMap table. The
+    // flat-Vec `extend_resident_256` above must beat this by ≥5×.
+    c.bench_function("extend_resident_256_hashmap_baseline", |b| {
+        b.iter_batched_ref(
+            || hashmap_pool(256),
+            |a| {
+                for id in 0..256u64 {
+                    a.extend(black_box(id), 1).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Decode-step storm: 1k residents each extend by one token per step,
+    // with every 32nd finishing (free) and being replaced by a fresh
+    // admission — the steady-state churn of a large decode phase.
+    c.bench_function("decode_step_storm_1k", |b| {
+        b.iter_batched_ref(
+            || resident_pool(1024),
+            |a| {
+                for id in 0..1024u64 {
+                    a.extend(id, 1).unwrap();
+                }
+                for id in (0..1024u64).step_by(32) {
+                    let tokens = a.free(id).unwrap();
+                    a.allocate(id, black_box(tokens)).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("decode_step_storm_1k_hashmap_baseline", |b| {
+        b.iter_batched_ref(
+            || hashmap_pool(1024),
+            |a| {
+                for id in 0..1024u64 {
+                    a.extend(id, 1).unwrap();
+                }
+                for id in (0..1024u64).step_by(32) {
+                    let tokens = a.free(id);
+                    a.allocate(id, black_box(tokens));
                 }
             },
             BatchSize::LargeInput,

@@ -3,13 +3,15 @@
 //! benches quantify that for our implementation.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tdpipe_baselines::common::RunState;
+use tdpipe_core::config::EngineConfig;
 use tdpipe_core::greedy::GreedyPrefillPlanner;
 use tdpipe_core::intensity::{IntensityComparator, PrefillPhaseEstimate};
-use tdpipe_core::request::{Lifecycle, RequestState};
+use tdpipe_core::request::{Lifecycle, RequestPool, RequestState};
 use tdpipe_core::steal::WorkStealer;
 use tdpipe_hw::{DecodeProfile, GpuSpec, KernelModel};
 use tdpipe_model::ModelSpec;
-use tdpipe_workload::RequestId;
+use tdpipe_workload::{RequestId, ShareGptLikeConfig};
 
 fn req(input: u32, predicted: u32) -> RequestState {
     RequestState {
@@ -71,6 +73,38 @@ fn bench_decisions(c: &mut Criterion) {
             phase_len: 12.0,
         };
         b.iter(|| cmp.should_switch(black_box(180), black_box(&est), black_box(0.04)))
+    });
+
+    // Eviction storm: decode steps over a nearly-full lane, where extends
+    // keep overflowing and newest-first recompute-eviction fires batch
+    // after batch — exercising the lazy max-heap victim selection.
+    c.bench_function("eviction_storm_advance_decode", |b| {
+        let trace = ShareGptLikeConfig::small(64, 17).generate();
+        b.iter_batched(
+            || {
+                let mut st =
+                    RunState::new(RequestPool::new(trace.requests(), |r| r.output_len));
+                let mut lane = st
+                    .make_lanes(1, 600, &EngineConfig::default())
+                    .pop()
+                    .expect("one lane");
+                let mut members = Vec::new();
+                while st.head_fits(&lane) {
+                    members.push(st.admit_head(&mut lane).0);
+                }
+                (st, lane, members)
+            },
+            |(mut st, mut lane, mut members)| {
+                for step in 1..=8 {
+                    if members.is_empty() {
+                        break;
+                    }
+                    st.advance_decode(&mut lane, &mut members, black_box(step as f64 * 0.1));
+                }
+                (st, lane, members)
+            },
+            BatchSize::SmallInput,
+        )
     });
 }
 

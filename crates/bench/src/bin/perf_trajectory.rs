@@ -1,0 +1,183 @@
+//! Perf trajectory: wall-clock time of the simulator itself on a fixed,
+//! canonical cell set, written to `BENCH_hotpath.json` at the repo root.
+//!
+//! This is not a paper figure — it times how long the *simulator* takes to
+//! run, so optimisation PRs have a recorded before/after and accidental
+//! slowdowns of the hot paths (allocator `extend`, per-step batch
+//! accounting, eviction) are visible in review.
+//!
+//! The cell set is {L20+13B, A100+70B} x {PP+SB, TD-Pipe} at 4 GPUs with
+//! 2,000 requests (override with `TDPIPE_REQUESTS`). Cells run serially so
+//! each measurement is unshared; each cell is re-run `TDPIPE_PERF_REPS`
+//! times (default 5) and the minimum is kept.
+//!
+//! Regenerate with:
+//! ```text
+//! cargo run --release --bin perf_trajectory
+//! ```
+
+use serde::Serialize;
+use std::time::Instant;
+use tdpipe_bench::{run_scheduler, Scheduler, PAPER_SEED};
+use tdpipe_hw::NodeSpec;
+use tdpipe_model::ModelSpec;
+use tdpipe_predictor::classifier::TrainConfig;
+use tdpipe_predictor::LengthPredictor;
+use tdpipe_workload::ShareGptLikeConfig;
+
+/// Wall times (seconds) measured at the tip of the PR that introduced this
+/// harness, *before* the hot-path refactor it shipped with, on the same
+/// canonical cell set. Kept so the recorded speedup survives regeneration.
+/// Keyed as `"<combo>/<scheduler>"`; `None` while unmeasured.
+fn pre_refactor_baseline(cell: &str) -> Option<f64> {
+    match cell {
+        "L20+13B/PP+SB" => Some(0.016),
+        "L20+13B/TD-Pipe" => Some(0.023),
+        "A100+70B/PP+SB" => Some(0.015),
+        "A100+70B/TD-Pipe" => Some(0.017),
+        _ => None,
+    }
+}
+
+#[derive(Serialize)]
+struct CellTime {
+    cell: String,
+    gpus: u32,
+    requests: usize,
+    wall_s: f64,
+    baseline_wall_s: Option<f64>,
+    speedup_vs_baseline: Option<f64>,
+    /// Simulated makespan — constant across refactors; a change here means
+    /// the optimisation altered results, not just speed.
+    makespan: f64,
+}
+
+#[derive(Serialize)]
+struct Trajectory {
+    generated_by: &'static str,
+    requests: usize,
+    reps: usize,
+    cells: Vec<CellTime>,
+    total_wall_s: f64,
+    baseline_total_wall_s: Option<f64>,
+    speedup_vs_baseline: Option<f64>,
+}
+
+fn reps() -> usize {
+    std::env::var("TDPIPE_PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        // A best-of needs at least one measurement; reps=0 would report
+        // `min` over nothing (infinite wall times).
+        .max(1)
+}
+
+fn num_requests() -> usize {
+    std::env::var("TDPIPE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000)
+}
+
+fn main() {
+    let n = num_requests();
+    let reps = reps();
+    let trace = ShareGptLikeConfig::small(n, PAPER_SEED).generate();
+    let hist = ShareGptLikeConfig::small(30_000, 7).generate();
+    let splits = hist.split(7);
+    let predictor = LengthPredictor::train(&splits.train, &TrainConfig::default());
+
+    let cells: Vec<(&str, ModelSpec, NodeSpec, Scheduler)> = vec![
+        (
+            "L20+13B",
+            ModelSpec::llama2_13b(),
+            NodeSpec::l20(4),
+            Scheduler::PpSb,
+        ),
+        (
+            "L20+13B",
+            ModelSpec::llama2_13b(),
+            NodeSpec::l20(4),
+            Scheduler::TdPipe,
+        ),
+        (
+            "A100+70B",
+            ModelSpec::llama2_70b(),
+            NodeSpec::a100(4),
+            Scheduler::PpSb,
+        ),
+        (
+            "A100+70B",
+            ModelSpec::llama2_70b(),
+            NodeSpec::a100(4),
+            Scheduler::TdPipe,
+        ),
+    ];
+
+    println!("perf_trajectory: {n} requests, best of {reps} reps per cell");
+    let mut out = Vec::new();
+    let mut total = 0.0f64;
+    let mut baseline_total = Some(0.0f64);
+    for (combo, model, node, sched) in &cells {
+        let mut best = f64::INFINITY;
+        let mut makespan = 0.0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = run_scheduler(*sched, model, node, &trace, &predictor)
+                .expect("canonical cell must be feasible");
+            let dt = t0.elapsed().as_secs_f64();
+            best = best.min(dt);
+            makespan = r.makespan;
+        }
+        let key = format!("{combo}/{}", sched.name());
+        let base = pre_refactor_baseline(&key);
+        let speedup = base.map(|b| b / best);
+        println!(
+            "  {key:<18} wall {best:8.3}s{}",
+            match speedup {
+                Some(s) => format!("  ({s:.2}x vs pre-refactor)"),
+                None => String::new(),
+            }
+        );
+        total += best;
+        baseline_total = match (baseline_total, base) {
+            (Some(acc), Some(b)) => Some(acc + b),
+            _ => None,
+        };
+        out.push(CellTime {
+            cell: key,
+            gpus: 4,
+            requests: n,
+            wall_s: best,
+            baseline_wall_s: base,
+            speedup_vs_baseline: speedup,
+            makespan,
+        });
+    }
+
+    let traj = Trajectory {
+        generated_by: "cargo run --release --bin perf_trajectory",
+        requests: n,
+        reps,
+        cells: out,
+        total_wall_s: total,
+        baseline_total_wall_s: baseline_total,
+        speedup_vs_baseline: baseline_total.map(|b| b / total),
+    };
+    println!(
+        "  total {total:8.3}s{}",
+        match traj.speedup_vs_baseline {
+            Some(s) => format!("  ({s:.2}x vs pre-refactor)"),
+            None => String::new(),
+        }
+    );
+
+    // The trajectory file lives at the repo root (not results/), next to
+    // the other BENCH_* trend files future PRs will add.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_hotpath.json");
+    let file = std::fs::File::create(&path).expect("create BENCH_hotpath.json");
+    serde_json::to_writer_pretty(file, &traj).expect("serialise trajectory");
+    println!("[saved {}]", path.display());
+}

@@ -142,28 +142,50 @@ pub fn run_cells_parallel<P: OutputLenPredictor + Sync + ?Sized>(
 ) -> Vec<Option<RunReport>> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(cells.len().max(1));
+        .unwrap_or(4);
+    run_cells_parallel_with_threads(cells, trace, predictor, threads)
+}
+
+/// [`run_cells_parallel`] with an explicit worker count (the determinism
+/// tests sweep this to prove thread count cannot affect results).
+///
+/// Lock-free: workers claim cells off a shared atomic counter (so long
+/// cells do not serialise behind short ones), buffer `(index, report)`
+/// pairs locally, and the scope's join handles deliver each worker's
+/// buffer back to the caller, which scatters them into input order. No
+/// mutex is held anywhere, and nothing is contended but the counter.
+pub fn run_cells_parallel_with_threads<P: OutputLenPredictor + Sync + ?Sized>(
+    cells: &[(Scheduler, ModelSpec, NodeSpec)],
+    trace: &Trace,
+    predictor: &P,
+    threads: usize,
+) -> Vec<Option<RunReport>> {
+    let threads = threads.max(1).min(cells.len().max(1));
     let mut results: Vec<Option<RunReport>> = vec![None; cells.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<RunReport>>> =
-        (0..cells.len()).map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let (s, model, node) = &cells[i];
-                let r = run_scheduler(*s, model, node, trace, predictor);
-                *slots[i].lock().expect("slot") = r;
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, Option<RunReport>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let (s, model, node) = &cells[i];
+                        done.push((i, run_scheduler(*s, model, node, trace, predictor)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                results[i] = r;
+            }
         }
     });
-    for (out, slot) in results.iter_mut().zip(slots) {
-        *out = slot.into_inner().expect("slot");
-    }
     results
 }
 

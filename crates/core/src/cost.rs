@@ -11,7 +11,7 @@ use tdpipe_model::{LayerWork, ModelSpec, PipelinePartition, TensorShard};
 
 /// A job priced for the pipeline simulator: per-stage execution seconds
 /// plus per-boundary transfer seconds.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StagedJob {
     /// Execution time on each stage.
     pub exec: Vec<f64>,
@@ -121,37 +121,66 @@ impl PpCost {
         &self.model
     }
 
-    fn staged(&self, per_layer: &LayerWork, logits_tokens: u64, embed_tokens: u64) -> StagedJob {
+    fn staged_into(
+        &self,
+        per_layer: &LayerWork,
+        logits_tokens: u64,
+        embed_tokens: u64,
+        out: &mut StagedJob,
+    ) {
         let n = self.num_stages() as usize;
-        let mut exec = Vec::with_capacity(n);
+        out.exec.clear();
+        out.exec.reserve(n);
         for a in self.partition.stages() {
-            let mut extras: Vec<LayerWork> = Vec::new();
+            // At most two extras per stage (embedding, LM head): a stack
+            // buffer keeps job pricing allocation-free on the decode path.
+            let mut extras: [LayerWork; 2] = Default::default();
+            let mut n_extras = 0;
             if a.has_embedding && embed_tokens > 0 {
-                extras.push(self.model.embedding_work(embed_tokens));
+                extras[n_extras] = self.model.embedding_work(embed_tokens);
+                n_extras += 1;
             }
             if a.has_lm_head && logits_tokens > 0 {
-                extras.push(self.model.lm_head_work(logits_tokens));
+                extras[n_extras] = self.model.lm_head_work(logits_tokens);
+                n_extras += 1;
             }
-            exec.push(self.kernel.stage_time(per_layer, a.layer_count, &extras));
+            out.exec
+                .push(self.kernel.stage_time(per_layer, a.layer_count, &extras[..n_extras]));
         }
         let act_bytes = per_layer.tokens * self.model.activation_bytes_per_token();
-        let xfer = vec![self.interconnect.p2p_time(act_bytes); n.saturating_sub(1)];
-        StagedJob { exec, xfer }
+        out.xfer.clear();
+        out.xfer
+            .resize(n.saturating_sub(1), self.interconnect.p2p_time(act_bytes));
     }
 
     /// A prefill batch over the given sequence lengths. Each sequence
     /// produces one logit row (its first generated token).
     pub fn prefill_job(&self, seq_lens: &[u32]) -> StagedJob {
+        let mut out = StagedJob::default();
+        self.prefill_job_into(seq_lens, &mut out);
+        out
+    }
+
+    /// [`Self::prefill_job`] into a caller-owned scratch job (hot loops
+    /// reuse one `StagedJob` instead of allocating per launch).
+    pub fn prefill_job_into(&self, seq_lens: &[u32], out: &mut StagedJob) {
         let work = self.model.prefill_layer_work(seq_lens);
         let tokens = work.tokens;
-        self.staged(&work, seq_lens.len() as u64, tokens)
+        self.staged_into(&work, seq_lens.len() as u64, tokens, out);
     }
 
     /// One decode step for a batch of `batch` requests with `total_ctx`
     /// total context tokens.
     pub fn decode_job(&self, batch: usize, total_ctx: u64) -> StagedJob {
+        let mut out = StagedJob::default();
+        self.decode_job_into(batch, total_ctx, &mut out);
+        out
+    }
+
+    /// [`Self::decode_job`] into a caller-owned scratch job.
+    pub fn decode_job_into(&self, batch: usize, total_ctx: u64, out: &mut StagedJob) {
         let work = self.model.decode_layer_work(batch, total_ctx);
-        self.staged(&work, batch as u64, batch as u64)
+        self.staged_into(&work, batch as u64, batch as u64, out);
     }
 
     /// One hybrid iteration: a decode sub-batch plus prefill chunks
@@ -169,6 +198,21 @@ impl PpCost {
         completed_chunks: usize,
         overlap: f64,
     ) -> StagedJob {
+        let mut out = StagedJob::default();
+        self.hybrid_job_into(batch, total_ctx, chunks, completed_chunks, overlap, &mut out);
+        out
+    }
+
+    /// [`Self::hybrid_job`] into a caller-owned scratch job.
+    pub fn hybrid_job_into(
+        &self,
+        batch: usize,
+        total_ctx: u64,
+        chunks: &[(u32, u32)],
+        completed_chunks: usize,
+        overlap: f64,
+        out: &mut StagedJob,
+    ) {
         let (t_layer, tokens) = hybrid_layer_time(
             &self.model,
             &self.kernel,
@@ -180,7 +224,8 @@ impl PpCost {
         );
         let logits = batch as u64 + completed_chunks as u64;
         let n = self.num_stages() as usize;
-        let mut exec = Vec::with_capacity(n);
+        out.exec.clear();
+        out.exec.reserve(n);
         for a in self.partition.stages() {
             let mut t = t_layer * a.layer_count as f64;
             if a.has_embedding && tokens > 0 {
@@ -189,11 +234,11 @@ impl PpCost {
             if a.has_lm_head && logits > 0 {
                 t += self.kernel.layer_time(&self.model.lm_head_work(logits));
             }
-            exec.push(t);
+            out.exec.push(t);
         }
         let act_bytes = tokens * self.model.activation_bytes_per_token();
-        let xfer = vec![self.interconnect.p2p_time(act_bytes); n.saturating_sub(1)];
-        StagedJob { exec, xfer }
+        out.xfer.clear();
+        out.xfer.resize(n.saturating_sub(1), self.interconnect.p2p_time(act_bytes));
     }
 }
 

@@ -213,6 +213,7 @@ impl TdPipeEngine {
         let mut pool =
             RequestPool::with_arrivals(trace.requests(), arrivals, |r| predictor.predict(r));
         let mut alloc = BlockAllocator::new(self.plan.kv_blocks, self.plan.block_size);
+        alloc.reserve_ids(pool.len());
         let mut occupancy = OccupancyTrace::new();
         let comparator = IntensityComparator::new(self.build_profile(trace));
         let mut planner =
@@ -233,9 +234,25 @@ impl TdPipeEngine {
 
         let mut phases: Vec<PhaseRecord> = Vec::new();
         // Prefill completions are consumed lazily (the executor reports in
-        // launch order); each entry is (batch members, occupancy at launch).
+        // launch order); each entry indexes a member range in
+        // `prefill_members` plus the occupancy at launch.
         const PREFILL_TAG: u64 = 1 << 32;
         let mut prefill_seq: u64 = 0;
+        // Hot-loop scratch, reused across phases: the steady-state engine
+        // loop allocates nothing per prefill batch or decode step.
+        let mut batch: Vec<usize> = Vec::new();
+        let mut seq_lens: Vec<u32> = Vec::new();
+        let mut prefill_members: Vec<usize> = Vec::new();
+        let mut prefill_meta: Vec<(usize, usize, f64)> = Vec::new();
+        let mut est_scratch: Vec<u32> = Vec::new();
+        let mut job = crate::cost::StagedJob::default();
+        let mut evict_heap: std::collections::BinaryHeap<(u64, usize)> =
+            std::collections::BinaryHeap::new();
+        let mut evicted: Vec<bool> = Vec::new();
+        // Running per-batch context totals (`DecodeBatch::total_ctx`
+        // maintained incrementally) and their sum over stored batches.
+        let mut batch_ctx: Vec<u64> = vec![0; n_stages];
+        let mut inflight: VecDeque<usize> = VecDeque::new();
         while !pool.all_finished() {
             // ===================== PREFILL PHASE =====================
             let phase_t0 = now;
@@ -243,7 +260,8 @@ impl TdPipeEngine {
             planner.reset(residents.iter().map(|&i| pool.get(i)));
             let mut launched = 0u64;
             let mut admitted_any = false;
-            let mut prefill_meta: Vec<(Vec<usize>, f64)> = Vec::new();
+            prefill_members.clear();
+            prefill_meta.clear();
             'prefill: while !pending.is_empty() {
                 let stop = match self.cfg.p2d {
                     P2dPolicy::Greedy => planner.would_overflow(),
@@ -253,8 +271,8 @@ impl TdPipeEngine {
                     break;
                 }
                 // Pack the next prefill batch up to the token budget.
-                let mut batch: Vec<usize> = Vec::new();
-                let mut seq_lens: Vec<u32> = Vec::new();
+                batch.clear();
+                seq_lens.clear();
                 let mut batch_tokens: u32 = 0;
                 while let Some(&idx) = pending.front() {
                     // Online extension: a request can only be prefilled
@@ -318,7 +336,7 @@ impl TdPipeEngine {
                     break 'prefill;
                 }
                 admitted_any = true;
-                let job = self.cost.prefill_job(&seq_lens);
+                self.cost.prefill_job_into(&seq_lens, &mut job);
                 let ready = now + launched as f64 * e.engine_overhead;
                 launched += 1;
                 prefill_seq += 1;
@@ -329,7 +347,9 @@ impl TdPipeEngine {
                     SegmentKind::Prefill,
                     PREFILL_TAG + prefill_seq,
                 );
-                prefill_meta.push((batch.clone(), alloc.occupancy()));
+                let start = prefill_members.len();
+                prefill_members.extend_from_slice(&batch);
+                prefill_meta.push((start, prefill_members.len(), alloc.occupancy()));
                 for (&idx, &t) in batch.iter().zip(&seq_lens) {
                     pool.note_prefill(idx, t);
                     planner.add_request(pool.get(idx));
@@ -342,10 +362,10 @@ impl TdPipeEngine {
             // Collect this phase's prefill completions: first-token stamps
             // and Fig. 12 occupancy samples.
             let mut prefill_exec_end = now;
-            for (members, occ) in prefill_meta.drain(..) {
+            for &(start, end, occ) in prefill_meta.iter() {
                 let (tag, finish) = sim.next_completion();
                 debug_assert!(tag > PREFILL_TAG, "prefills complete before decodes");
-                for idx in members {
+                for &idx in &prefill_members[start..end] {
                     pool.note_first_token(idx, finish);
                 }
                 occupancy.push(finish, occ, Phase::Prefill);
@@ -397,16 +417,23 @@ impl TdPipeEngine {
             let mut finished_this_phase = 0usize;
             let mut switching = false;
 
-            let mut inflight: VecDeque<usize> = VecDeque::new();
+            debug_assert!(inflight.is_empty());
             for (bid, b) in batches.iter().enumerate() {
+                // Scan each batch once at phase start; from here on
+                // `batch_ctx` is maintained incrementally.
+                batch_ctx[bid] = b.total_ctx(&pool);
                 if b.is_empty() {
                     continue;
                 }
-                let job = self.cost.decode_job(b.len(), b.total_ctx(&pool));
+                self.cost.decode_job_into(b.len(), batch_ctx[bid], &mut job);
                 let ready = now + inflight.len() as f64 * e.engine_overhead;
                 sim.launch(ready, &job.exec, &job.xfer, SegmentKind::Decode, bid as u64);
                 inflight.push_back(bid);
             }
+            // Context-token sum over the batches currently stored in
+            // `batches` (the in-processing batch is subtracted while its
+            // members are taken out, mirroring the old per-step rescan).
+            let mut stored_ctx: u64 = batch_ctx.iter().sum();
 
             while let Some(bid) = inflight.pop_front() {
                 let (tag, finish) = sim.next_completion();
@@ -414,11 +441,18 @@ impl TdPipeEngine {
                 now = finish;
                 decode_steps += 1;
                 let mut members = std::mem::take(&mut batches[bid].members);
+                stored_ctx -= batch_ctx[bid];
                 // 1) One token generated per member; retire the finished.
+                //    Every member's context grows by one this step; the
+                //    finished leave with their post-step resident tokens
+                //    (one more than the allocator held for them).
+                let mut ctx = batch_ctx[bid] + members.len() as u64;
                 let mut finished_now = 0usize;
                 members.retain(|&idx| {
                     if pool.note_decode_step(idx, now) {
-                        alloc.free(idx as u64).expect("finished request resident");
+                        let freed =
+                            alloc.free(idx as u64).expect("finished request resident");
+                        ctx -= freed + 1;
                         finished_now += 1;
                         false
                     } else {
@@ -427,22 +461,47 @@ impl TdPipeEngine {
                 });
                 finished_this_phase += finished_now;
                 // 2) Extend survivors' KV; evict newest-first on overflow
-                //    (the recompute strategy of §4.1).
+                //    (the recompute strategy of §4.1). Overflow is rare, so
+                //    the victim order is built lazily: a max-heap over
+                //    `admission_seq` (unique, so the peel order matches the
+                //    old per-victim max scan exactly) with lazy deletion —
+                //    O(log n) per eviction instead of O(n).
                 let mut i = 0;
                 let mut swap_out_delay = 0.0;
+                let mut heap_built = false;
                 while i < members.len() {
+                    if heap_built && evicted[i] {
+                        i += 1;
+                        continue;
+                    }
                     let idx = members[i];
                     if alloc.extend(idx as u64, 1).is_ok() {
                         i += 1;
                         continue;
                     }
+                    if !heap_built {
+                        evicted.clear();
+                        evicted.resize(members.len(), false);
+                        evict_heap.clear();
+                        evict_heap.extend(
+                            members
+                                .iter()
+                                .enumerate()
+                                .map(|(p, &m)| (admission_seq[m], p)),
+                        );
+                        heap_built = true;
+                    }
                     // Evict the newest member (possibly idx itself).
-                    let (pos, &victim) = members
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, &m)| admission_seq[m])
-                        .expect("members nonempty");
+                    let pos = loop {
+                        let (_, p) = evict_heap.pop().expect("live member to evict");
+                        if !evicted[p] {
+                            break p;
+                        }
+                    };
+                    let victim = members[pos];
+                    evicted[pos] = true;
                     alloc.free(victim as u64).expect("victim resident");
+                    ctx -= pool.get(victim).resident_tokens();
                     match e.preemption {
                         PreemptionMode::Recompute => pool.note_eviction(victim),
                         PreemptionMode::Swap => {
@@ -456,16 +515,25 @@ impl TdPipeEngine {
                         }
                     }
                     pending.push_front(victim);
-                    members.remove(pos);
-                    if pos < i {
-                        i -= 1; // already-extended prefix shifted left
-                    }
-                    // `idx` may have been the victim; re-check current slot.
+                    // `idx` may have been the victim; the `evicted` check at
+                    // the loop head re-routes, otherwise retry this slot.
+                }
+                if heap_built {
+                    // Compact the survivors in order (one pass, instead of
+                    // the old `Vec::remove` per victim).
+                    let mut p = 0;
+                    members.retain(|_| {
+                        let keep = !evicted[p];
+                        p += 1;
+                        keep
+                    });
                 }
                 now += swap_out_delay;
                 // 3) Rebalance.
                 if let Some(st) = stealer.as_mut() {
-                    st.on_batch_return(&mut members, finished_now);
+                    st.rebalance(&mut members, finished_now, &mut ctx, |m| {
+                        pool.get(m).resident_tokens()
+                    });
                 }
                 occupancy.push(now, alloc.occupancy(), Phase::Decode);
                 // 4) Decode→prefill decision.
@@ -476,13 +544,18 @@ impl TdPipeEngine {
                                 members.len() + batches.iter().map(DecodeBatch::len).sum::<usize>();
                             let live_batches = inflight.len() + 1;
                             let mean_batch = (live / live_batches.max(1)).max(1);
-                            let ctx = batches
-                                .iter()
-                                .map(|b| b.total_ctx(&pool))
-                                .sum::<u64>()
-                                / live_batches.max(1) as u64;
-                            let step = self.cost.decode_job(mean_batch, ctx.max(1)).latency();
-                            let est = self.estimate_prefill_phase(&pending, &pool, &alloc);
+                            // `stored_ctx` equals the old sum over stored
+                            // batches (this batch's slot is empty here).
+                            let mean_ctx = stored_ctx / live_batches.max(1) as u64;
+                            self.cost
+                                .decode_job_into(mean_batch, mean_ctx.max(1), &mut job);
+                            let step = job.latency();
+                            let est = self.estimate_prefill_phase(
+                                &pending,
+                                &pool,
+                                &alloc,
+                                &mut est_scratch,
+                            );
                             comparator.should_switch(mean_batch, &est, step)
                         }
                         D2pPolicy::FixedFinishRatio(r) => {
@@ -497,12 +570,17 @@ impl TdPipeEngine {
                 batches[bid].members = members;
                 if !switching && inflight.is_empty() {
                     if let Some(st) = stealer.as_mut() {
+                        for &m in st.withheld() {
+                            ctx += pool.get(m).resident_tokens();
+                        }
                         batches[bid].members.extend(st.drain());
                     }
                 }
+                batch_ctx[bid] = ctx;
+                stored_ctx += ctx;
                 if !switching && !batches[bid].is_empty() {
                     let b = &batches[bid];
-                    let job = self.cost.decode_job(b.len(), b.total_ctx(&pool));
+                    self.cost.decode_job_into(b.len(), ctx, &mut job);
                     let ready = ctrl.process(now, b.len());
                     sim.launch(ready, &job.exec, &job.xfer, SegmentKind::Decode, bid as u64);
                     inflight.push_back(bid);
@@ -564,12 +642,14 @@ impl TdPipeEngine {
         pending: &VecDeque<usize>,
         pool: &RequestPool,
         alloc: &BlockAllocator,
+        scratch: &mut Vec<u32>,
     ) -> PrefillPhaseEstimate {
         let e = &self.cfg.engine;
         let mut free_tokens = alloc.free_blocks() * self.plan.block_size as u64;
         let mut longest = 0.0f64;
         let mut phase_len = 0.0f64;
-        let mut seq_lens: Vec<u32> = Vec::new();
+        let seq_lens = scratch;
+        seq_lens.clear();
         let mut batch_tokens: u32 = 0;
         let flush = |seq_lens: &mut Vec<u32>, longest: &mut f64, phase_len: &mut f64| {
             if seq_lens.is_empty() {
@@ -589,13 +669,13 @@ impl TdPipeEngine {
             free_tokens -= need;
             let t = s.prefill_tokens();
             if batch_tokens + t > e.prefill_token_budget && !seq_lens.is_empty() {
-                flush(&mut seq_lens, &mut longest, &mut phase_len);
+                flush(&mut *seq_lens, &mut longest, &mut phase_len);
                 batch_tokens = 0;
             }
             seq_lens.push(t);
             batch_tokens += t;
         }
-        flush(&mut seq_lens, &mut longest, &mut phase_len);
+        flush(&mut *seq_lens, &mut longest, &mut phase_len);
         PrefillPhaseEstimate {
             longest_job: longest,
             phase_len,

@@ -64,10 +64,14 @@ impl GreedyPrefillPlanner {
     }
 
     fn account(&mut self, current_tokens: u64, predicted_remaining: u32) {
-        for (i, &fp) in self.future_points.iter().enumerate() {
-            if fp <= predicted_remaining {
-                self.usage[i] += current_tokens + fp as u64;
-            }
+        // The grid is strictly increasing, so the points this request is
+        // still alive at form a prefix — find its end by bisection and
+        // update only that prefix (runs once per admitted request).
+        let live = self
+            .future_points
+            .partition_point(|&fp| fp <= predicted_remaining);
+        for (u, &fp) in self.usage[..live].iter_mut().zip(&self.future_points[..live]) {
+            *u += current_tokens + fp as u64;
         }
     }
 

@@ -55,6 +55,21 @@ impl WorkStealer {
     /// topped up from the pool. The submitted size is recorded in the
     /// window.
     pub fn on_batch_return(&mut self, members: &mut Vec<usize>, finished_now: usize) {
+        self.rebalance(members, finished_now, &mut 0, |_| 0);
+    }
+
+    /// [`Self::on_batch_return`] that also keeps the batch's running
+    /// context-token total `ctx` consistent as members move: withheld
+    /// members subtract their resident tokens, supplements add theirs.
+    /// This is what lets the engine maintain `total_ctx` incrementally
+    /// instead of rescanning the batch every decode step.
+    pub fn rebalance(
+        &mut self,
+        members: &mut Vec<usize>,
+        finished_now: usize,
+        ctx: &mut u64,
+        resident: impl Fn(usize) -> u64,
+    ) {
         // The withheld pool is live work too — counting it in the target is
         // what drains the pool back into light batches instead of letting
         // stolen requests linger.
@@ -63,11 +78,17 @@ impl WorkStealer {
         // it from the pipeline entirely, which is never a balance win.
         let target = (sum.saturating_sub(finished_now) / self.window.len()).max(1);
         if members.len() > target {
+            for &m in &members[target..] {
+                *ctx -= resident(m);
+            }
             let excess = members.split_off(target);
             self.withheld.extend(excess);
         } else if members.len() < target && !self.withheld.is_empty() {
             let need = (target - members.len()).min(self.withheld.len());
             let from = self.withheld.len() - need;
+            for &m in &self.withheld[from..] {
+                *ctx += resident(m);
+            }
             members.extend(self.withheld.drain(from..));
         }
         self.window.pop_front();

@@ -1,7 +1,6 @@
 //! The paged block allocator.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Errors the allocator can report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +43,12 @@ struct Residency {
 ///
 /// `block_size` tokens fit in one block; a request holding `t` tokens owns
 /// `ceil(t / block_size)` blocks (the trailing block is partially filled,
-/// exactly like paged attention). All operations are O(1) amortised.
+/// exactly like paged attention). All operations are O(1) — request ids
+/// are dense pool indices in this codebase, so residency lives in a flat
+/// `Vec<Option<Residency>>` indexed by id (grown lazily to the highest id
+/// seen) rather than a hash map: `extend(id, 1)` runs once per surviving
+/// batch member per decode step and is the hottest call in the simulator,
+/// and here it is two array reads and an add, no hashing.
 ///
 /// ```
 /// use tdpipe_kvcache::BlockAllocator;
@@ -61,7 +65,13 @@ pub struct BlockAllocator {
     block_size: u32,
     num_blocks: u64,
     used_blocks: u64,
-    residents: HashMap<u64, Residency>,
+    /// Residency table indexed by request id; `None` = not resident.
+    residents: Vec<Option<Residency>>,
+    /// Count of `Some` entries in `residents`.
+    num_residents: usize,
+    /// Sum of `tokens` over resident requests, maintained incrementally so
+    /// `resident_tokens()`/`fragmentation()` stay O(1).
+    resident_tokens: u64,
 }
 
 impl BlockAllocator {
@@ -75,8 +85,23 @@ impl BlockAllocator {
             block_size,
             num_blocks,
             used_blocks: 0,
-            residents: HashMap::new(),
+            residents: Vec::new(),
+            num_residents: 0,
+            resident_tokens: 0,
         }
+    }
+
+    /// Pre-size the residency table for ids `0..n` so a run over a known
+    /// request population never grows it again.
+    pub fn reserve_ids(&mut self, n: usize) {
+        if self.residents.len() < n {
+            self.residents.resize(n, None);
+        }
+    }
+
+    #[inline]
+    fn slot(&self, id: u64) -> Option<&Residency> {
+        self.residents.get(id as usize).and_then(Option::as_ref)
     }
 
     /// Tokens per block.
@@ -114,12 +139,13 @@ impl BlockAllocator {
     /// Number of resident requests.
     #[inline]
     pub fn num_residents(&self) -> usize {
-        self.residents.len()
+        self.num_residents
     }
 
-    /// Total tokens resident across requests.
+    /// Total tokens resident across requests (maintained incrementally).
+    #[inline]
     pub fn resident_tokens(&self) -> u64 {
-        self.residents.values().map(|r| r.tokens).sum()
+        self.resident_tokens
     }
 
     fn blocks_for(&self, tokens: u64) -> u64 {
@@ -133,7 +159,7 @@ impl BlockAllocator {
 
     /// Admit a request with `tokens` tokens (its prompt after prefill).
     pub fn allocate(&mut self, id: u64, tokens: u64) -> Result<(), KvError> {
-        if self.residents.contains_key(&id) {
+        if self.slot(id).is_some() {
             return Err(KvError::DuplicateRequest(id));
         }
         let needed = self.blocks_for(tokens);
@@ -141,14 +167,17 @@ impl BlockAllocator {
         if needed > available {
             return Err(KvError::OutOfMemory { needed, available });
         }
+        let idx = id as usize;
+        if idx >= self.residents.len() {
+            self.residents.resize(idx + 1, None);
+        }
         self.used_blocks += needed;
-        self.residents.insert(
-            id,
-            Residency {
-                tokens,
-                blocks: needed,
-            },
-        );
+        self.num_residents += 1;
+        self.resident_tokens += tokens;
+        self.residents[idx] = Some(Residency {
+            tokens,
+            blocks: needed,
+        });
         Ok(())
     }
 
@@ -156,23 +185,25 @@ impl BlockAllocator {
     /// appends 1). Allocates a new block only when the trailing block
     /// overflows. On `OutOfMemory` the request is left unchanged.
     pub fn extend(&mut self, id: u64, additional: u64) -> Result<(), KvError> {
+        let free = self.num_blocks - self.used_blocks;
+        let block_size = self.block_size as u64;
         let r = self
             .residents
-            .get(&id)
-            .copied()
+            .get_mut(id as usize)
+            .and_then(Option::as_mut)
             .ok_or(KvError::UnknownRequest(id))?;
-        let new_blocks = self.blocks_for(r.tokens + additional);
+        let new_blocks = (r.tokens + additional).div_ceil(block_size);
         let extra = new_blocks - r.blocks;
-        if extra > self.free_blocks() {
+        if extra > free {
             return Err(KvError::OutOfMemory {
                 needed: extra,
-                available: self.free_blocks(),
+                available: free,
             });
         }
-        self.used_blocks += extra;
-        let r = self.residents.get_mut(&id).expect("checked above");
         r.tokens += additional;
         r.blocks = new_blocks;
+        self.used_blocks += extra;
+        self.resident_tokens += additional;
         Ok(())
     }
 
@@ -181,23 +212,25 @@ impl BlockAllocator {
     pub fn free(&mut self, id: u64) -> Result<u64, KvError> {
         let r = self
             .residents
-            .remove(&id)
+            .get_mut(id as usize)
+            .and_then(Option::take)
             .ok_or(KvError::UnknownRequest(id))?;
         self.used_blocks -= r.blocks;
+        self.num_residents -= 1;
+        self.resident_tokens -= r.tokens;
         Ok(r.tokens)
     }
 
     /// Tokens currently resident for `id`.
     pub fn tokens_of(&self, id: u64) -> Result<u64, KvError> {
-        self.residents
-            .get(&id)
+        self.slot(id)
             .map(|r| r.tokens)
             .ok_or(KvError::UnknownRequest(id))
     }
 
     /// Whether `id` is resident.
     pub fn contains(&self, id: u64) -> bool {
-        self.residents.contains_key(&id)
+        self.slot(id).is_some()
     }
 
     /// Internal fragmentation: bytes-equivalent tokens of slack in the
@@ -209,7 +242,7 @@ impl BlockAllocator {
         if used_tokens == 0 {
             return 0.0;
         }
-        let resident = self.resident_tokens();
+        let resident = self.resident_tokens;
         (used_tokens - resident) as f64 / used_tokens as f64
     }
 }

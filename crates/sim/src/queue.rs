@@ -58,6 +58,20 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// An empty queue pre-sized for `capacity` pending events, so a
+    /// simulation with a known in-flight bound never reallocates the heap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Reserve room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedule `payload` at absolute `time`.
     ///
     /// # Panics
@@ -80,6 +94,29 @@ impl<T> EventQueue<T> {
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<f64> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// Remove and return the earliest event only if it is due by `time`
+    /// (inclusive) — the fused peek-then-pop fast path for stepping a
+    /// simulation clock without two heap probes and a re-compare.
+    pub fn pop_at(&mut self, time: f64) -> Option<(f64, T)> {
+        if self.heap.peek().is_some_and(|e| e.time <= time) {
+            self.heap.pop().map(|e| (e.time, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Drain every event due by `time` (inclusive) into `out`, in event
+    /// order (time-ascending, FIFO within a tie). Returns how many events
+    /// were delivered. `out` is *appended to*, not cleared — callers reuse
+    /// one scratch buffer across simulation steps.
+    pub fn pop_batch_at(&mut self, time: f64, out: &mut Vec<(f64, T)>) -> usize {
+        let before = out.len();
+        while let Some(ev) = self.pop_at(time) {
+            out.push(ev);
+        }
+        out.len() - before
     }
 
     /// Number of pending events.
@@ -133,5 +170,40 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn nan_time_panics() {
         EventQueue::new().push(f64::NAN, ());
+    }
+
+    #[test]
+    fn pop_at_respects_the_deadline() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "late");
+        q.push(1.0, "early");
+        assert_eq!(q.pop_at(0.5), None);
+        assert_eq!(q.pop_at(1.0), Some((1.0, "early")));
+        assert_eq!(q.pop_at(1.0), None);
+        assert_eq!(q.pop_at(5.0), Some((2.0, "late")));
+    }
+
+    #[test]
+    fn pop_batch_at_drains_in_order_and_appends() {
+        let mut q = EventQueue::with_capacity(8);
+        q.push(1.0, 'a');
+        q.push(1.0, 'b');
+        q.push(2.0, 'c');
+        q.push(3.0, 'd');
+        let mut out = vec![(0.0, 'z')];
+        assert_eq!(q.pop_batch_at(2.0, &mut out), 3);
+        assert_eq!(out, vec![(0.0, 'z'), (1.0, 'a'), (1.0, 'b'), (2.0, 'c')]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_batch_at(2.5, &mut out), 0);
+    }
+
+    #[test]
+    fn reserve_does_not_disturb_order() {
+        let mut q = EventQueue::with_capacity(2);
+        q.push(2.0, 1);
+        q.push(1.0, 0);
+        q.reserve(100);
+        assert_eq!(q.pop(), Some((1.0, 0)));
+        assert_eq!(q.pop(), Some((2.0, 1)));
     }
 }

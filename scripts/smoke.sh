@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Smoke test: build, run the test suite, then regenerate Figure 11 at a
+# reduced request count and diff it byte-for-byte against the committed
+# snapshot. Any scheduling change that alters simulated results — however
+# slightly — fails the diff; pure performance work passes.
+#
+# Usage: scripts/smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --release
+
+echo "== tests (tier 1) =="
+cargo test --release -q
+
+echo "== fig11 @ 200 requests vs committed snapshot =="
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+TDPIPE_RESULTS_DIR="$out" TDPIPE_REQUESTS=200 \
+    cargo run --release -p tdpipe-bench --bin fig11_overall >/dev/null
+diff -u results/smoke/fig11_overall_200.json "$out/fig11_overall.json"
+echo "smoke OK: results are bit-identical to the committed snapshot"

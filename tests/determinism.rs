@@ -51,6 +51,44 @@ fn trained_predictor_pipeline_is_deterministic() {
     );
 }
 
+/// The hot-path refactor's golden gate: every scheduler, run twice over a
+/// fixed trace, must produce *byte-identical* serialized reports — and the
+/// parallel sweep must produce those same bytes at every thread count.
+/// Catches any scheduling change that leaks into simulated results, and
+/// any thread-count dependence in `run_cells_parallel`.
+#[test]
+fn all_schedulers_serialize_bit_identically_across_runs_and_thread_counts() {
+    use tdpipe_bench::{run_cells_parallel_with_threads, run_scheduler, Scheduler};
+
+    let trace = ShareGptLikeConfig::small(120, 5).generate();
+    let cells: Vec<_> = Scheduler::ALL
+        .into_iter()
+        .map(|s| (s, ModelSpec::llama2_13b(), NodeSpec::l20(4)))
+        .collect();
+
+    let serialize = |r: &Option<tdpipe::sim::RunReport>| -> String {
+        serde_json::to_string(r.as_ref().expect("13B fits 4xL20")).expect("serialize report")
+    };
+
+    // Golden: one serial pass; a second serial pass must match it exactly.
+    let golden: Vec<String> = cells
+        .iter()
+        .map(|(s, m, n)| serialize(&run_scheduler(*s, m, n, &trace, &OraclePredictor)))
+        .collect();
+    for ((s, m, n), want) in cells.iter().zip(&golden) {
+        let again = serialize(&run_scheduler(*s, m, n, &trace, &OraclePredictor));
+        assert_eq!(&again, want, "{} rerun differs", s.name());
+    }
+
+    // The parallel sweep must reproduce the golden bytes in input order,
+    // no matter how many workers carve up the cells.
+    for threads in [1, 2, 3, 8] {
+        let reports = run_cells_parallel_with_threads(&cells, &trace, &OraclePredictor, threads);
+        let got: Vec<String> = reports.iter().map(&serialize).collect();
+        assert_eq!(got, golden, "{threads}-thread sweep differs");
+    }
+}
+
 #[test]
 fn different_workload_seeds_change_results() {
     let engine = TdPipeEngine::new(

@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `criterion` to this shim. It keeps the API subset
+//! the repo's benches use (`bench_function`, `iter`, `iter_batched`,
+//! `iter_batched_ref`, `benchmark_group`, `sample_size`, `black_box`,
+//! `criterion_group!`, `criterion_main!`) and performs real wall-clock
+//! measurement: per sample it runs an adaptively-sized batch of
+//! iterations and reports min/median/max ns-per-iteration across
+//! samples. No statistical regression machinery, no HTML reports —
+//! numbers print to stdout, which is all the perf-trajectory workflow
+//! needs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim always times the
+/// routine alone, so the variants only affect batch sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+impl BatchSize {
+    fn iters_per_sample(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+            BatchSize::NumBatches(_) => 1,
+            BatchSize::NumIterations(n) => n.max(1),
+        }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample mean ns/iter.
+    ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            ns_per_iter: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Measure `routine` repeatedly; the routine's return value is
+    /// black-boxed so the optimiser cannot delete it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up & calibration: find an iteration count that takes
+        // roughly 5ms per sample so Instant overhead is negligible.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let el = t.elapsed();
+            self.ns_per_iter.push(el.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Measure `routine(input)` with `setup()` excluded from timing.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let per = size.iters_per_sample();
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..per).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let el = t.elapsed();
+            self.ns_per_iter.push(el.as_nanos() as f64 / per as f64);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let per = size.iters_per_sample();
+        for _ in 0..self.samples {
+            let mut inputs: Vec<I> = (0..per).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs.iter_mut() {
+                black_box(routine(input));
+            }
+            let el = t.elapsed();
+            drop(inputs);
+            self.ns_per_iter.push(el.as_nanos() as f64 / per as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{:.4} ns", ns)
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    let mut xs = b.ns_per_iter;
+    if xs.is_empty() {
+        println!("{name:<40} time: [no samples]");
+        return;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let lo = xs[0];
+    let med = xs[xs.len() / 2];
+    let hi = xs[xs.len() - 1];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(med),
+        fmt_ns(hi)
+    );
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Grouped benchmarks with a shared configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Register and immediately run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion_group!`: defines a function that runs every
+/// listed benchmark with a default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

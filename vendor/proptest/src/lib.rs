@@ -1,0 +1,444 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `proptest!` test functions with `arg in strategy` bindings, numeric
+//! range strategies, tuples, `prop::collection::vec`,
+//! `prop::sample::select`, `prop_map`/`prop_flat_map`, `prop_oneof!`, and
+//! the `prop_assert*`/`prop_assume!` macros. Cases are generated from a
+//! deterministic per-test seed (so failures are reproducible); there is no
+//! shrinking — the failing case index and seed are reported instead.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs (override with `PROPTEST_CASES`).
+pub fn num_cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// A small deterministic PRNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from a test name and case index (stable across runs).
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(h ^ case.wrapping_mul(0x9e3779b97f4a7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in [0, n) (n > 0; modulo bias is fine for tests).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrink tree; a
+/// strategy just draws a value from the RNG.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Constant strategy (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$idx:tt),*) => {
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)*)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A/0, B/1);
+tuple_strategy!(A/0, B/1, C/2);
+tuple_strategy!(A/0, B/1, C/2, D/3);
+tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+
+/// The `prop::` namespace the prelude exposes.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Inclusive size bounds for generated collections.
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        /// Strategy for `Vec`s of `elem` with a size drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let n = self.size.lo + rng.below(span + 1) as usize;
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniformly select one of the given values.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select(options)
+        }
+
+        /// See [`select`].
+        pub struct Select<T: Clone>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use super::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Define property tests. Each function runs [`num_cases`] deterministic
+/// cases; the body may use `prop_assert*`/`prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::num_cases() {
+                    let mut __proptest_rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);
+                    )*
+                    let __proptest_result: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let Err(msg) = __proptest_result {
+                        panic!(
+                            "property {} failed at case {}: {}",
+                            stringify!($name),
+                            case,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {} ({:?} != {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)*),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds (counts as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// See [`prop_oneof!`]: uniform choice among boxed strategies.
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// A union over the given (non-empty) arms.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.0.len() as u64) as usize;
+        self.0[arm].generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 5u64..=5, f in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert_eq!(y, 5);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(0u32..4, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn oneof_and_select_cover_arms(x in prop_oneof![0u32..1, 10u32..11], s in prop::sample::select(vec![7i32, 9])) {
+            prop_assert!(x == 0 || x == 10);
+            prop_assert!(s == 7 || s == 9);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = super::TestRng::for_case("t", 3);
+        let mut b = super::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for `serde` 1.x.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `serde` to this shim. Instead of serde's visitor
+//! architecture it uses a concrete [`Value`] tree: `Serialize` lowers a
+//! type to a `Value`, `Deserialize` lifts it back, and `serde_json`
+//! (also shimmed) prints/parses the tree. The derive macros (in the
+//! sibling `serde_derive` shim) generate the externally-tagged
+//! representation real serde uses for enums, so the JSON produced is
+//! shaped identically to upstream for the types in this repository
+//! (plain structs and enums, no `#[serde(...)]` attributes).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed / to-be-printed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers (kept exact up to `u64::MAX`).
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered object (field order = declaration order).
+    Map(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a human-readable description of the first
+/// mismatch between the value tree and the target type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(u) if *u <= <$t>::MAX as u64 => Ok(*u as $t),
+                    Value::Int(i) if *i >= 0 && *i as u64 <= <$t>::MAX as u64 => Ok(*i as $t),
+                    other => Err(DeError(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) if *u <= i64::MAX as u64 => *u as i64,
+                    other => return Err(DeError(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                };
+                if i >= <$t>::MIN as i64 && i <= <$t>::MAX as i64 {
+                    Ok(i as $t)
+                } else {
+                    Err(DeError(format!(
+                        concat!(stringify!($t), " out of range: {}"), i)))
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            // Non-finite floats serialize to null (as in serde_json);
+            // accept the round trip.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(xs) => xs.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Into::into)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(xs) => {
+                        let expect = [$($n),+].len();
+                        if xs.len() != expect {
+                            return Err(DeError(format!(
+                                "expected tuple of {expect}, got {} elements", xs.len())));
+                        }
+                        Ok(($($t::from_value(&xs[$n])?,)+))
+                    }
+                    other => Err(DeError(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let xs = Vec::<T>::from_value(v)?;
+        <[T; N]>::try_from(xs)
+            .map_err(|xs| DeError(format!("expected array of {N}, got {} elements", xs.len())))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Map keys become JSON object keys, i.e. strings (matching serde_json,
+/// which stringifies integer keys).
+pub trait MapKey: Sized + Ord {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError(format!(
+                    concat!("invalid ", stringify!($t), " map key: {:?}"), s)))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort by key (HashMap iteration order is not).
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers invoked by derive-generated code (not public API)
+// ---------------------------------------------------------------------
+
+/// Look up a struct field by name inside a map value.
+#[doc(hidden)]
+pub fn __get_field<'a>(v: &'a Value, ty: &str, name: &str) -> Result<&'a Value, DeError> {
+    match v {
+        Value::Map(m) => m
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError(format!("missing field `{name}` for `{ty}`"))),
+        other => Err(DeError(format!("expected object for `{ty}`, got {other:?}"))),
+    }
+}
+
+/// Split an externally-tagged enum value into (variant name, payload).
+#[doc(hidden)]
+pub fn __enum_parts<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, Option<&'a Value>), DeError> {
+    match v {
+        Value::Str(s) => Ok((s.as_str(), None)),
+        Value::Map(m) if m.len() == 1 => Ok((m[0].0.as_str(), Some(&m[0].1))),
+        other => Err(DeError(format!(
+            "expected externally-tagged enum for `{ty}`, got {other:?}"
+        ))),
+    }
+}
+
+/// Assert a unit variant carries no payload.
+#[doc(hidden)]
+pub fn __unit_variant(payload: Option<&Value>, ty: &str, variant: &str) -> Result<(), DeError> {
+    match payload {
+        None => Ok(()),
+        Some(p) => Err(DeError(format!(
+            "unexpected payload {p:?} for unit variant `{ty}::{variant}`"
+        ))),
+    }
+}
+
+/// Fetch the payload of a data-carrying variant.
+#[doc(hidden)]
+pub fn __data_variant<'a>(
+    payload: Option<&'a Value>,
+    ty: &str,
+    variant: &str,
+) -> Result<&'a Value, DeError> {
+    payload.ok_or_else(|| DeError(format!("missing payload for variant `{ty}::{variant}`")))
+}
+
+/// Fetch element `i` of a tuple-variant payload.
+#[doc(hidden)]
+pub fn __seq_elem<'a>(v: &'a Value, ty: &str, i: usize, len: usize) -> Result<&'a Value, DeError> {
+    match v {
+        Value::Seq(xs) if xs.len() == len => Ok(&xs[i]),
+        other => Err(DeError(format!(
+            "expected {len}-tuple payload for `{ty}`, got {other:?}"
+        ))),
+    }
+}
+
+/// Error for an unknown enum variant tag.
+#[doc(hidden)]
+pub fn __unknown_variant(ty: &str, tag: &str) -> DeError {
+    DeError(format!("unknown variant `{tag}` for enum `{ty}`"))
+}

@@ -1,0 +1,341 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io (so no
+//! syn/quote); these derives are written against the raw `proc_macro`
+//! token API. They support exactly what this workspace needs: plain
+//! (non-generic) structs with named fields, tuple/newtype structs,
+//! unit structs, and enums with unit / tuple / struct variants —
+//! no `#[serde(...)]` attributes (the repo uses none). The generated
+//! code targets the shimmed `serde` crate's `Value`-tree model and
+//! reproduces serde's externally-tagged enum representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// starting at `i`; returns the next significant index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token slice on commas at angle-bracket depth zero.
+/// (Parenthesised / bracketed subtrees arrive as single `Group`
+/// tokens, so only `<...>` needs explicit depth tracking.)
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract field names from the tokens of a named-field body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .filter_map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Count the fields of a tuple body.
+fn parse_tuple_arity(body: &[TokenTree]) -> usize {
+    split_top_level_commas(body)
+        .iter()
+        .filter(|c| !c.is_empty())
+        .count()
+}
+
+fn parse_input(input: TokenStream) -> (String, Kind) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let is_enum = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => i += 1,
+            None => panic!("serde derive: expected `struct` or `enum`"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic types are not supported (type `{name}`)");
+        }
+    }
+    if is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                g.stream().into_iter().collect::<Vec<_>>()
+            }
+            other => panic!("serde derive: expected enum body, got {other:?}"),
+        };
+        let mut variants = Vec::new();
+        for chunk in split_top_level_commas(&body) {
+            let j = skip_attrs_and_vis(&chunk, 0);
+            let vname = match chunk.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => continue,
+                other => panic!("serde derive: expected variant name, got {other:?}"),
+            };
+            let kind = match chunk.get(j + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(parse_tuple_arity(
+                        &g.stream().into_iter().collect::<Vec<_>>(),
+                    ))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(
+                        &g.stream().into_iter().collect::<Vec<_>>(),
+                    ))
+                }
+                None => VariantKind::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("serde derive shim: explicit discriminants are not supported")
+                }
+                other => panic!("serde derive: unexpected token after variant: {other:?}"),
+            };
+            variants.push(Variant { name: vname, kind });
+        }
+        (name, Kind::Enum(variants))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<_> = g.stream().into_iter().collect();
+                (name, Kind::NamedStruct(parse_named_fields(&body)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<_> = g.stream().into_iter().collect();
+                (name, Kind::TupleStruct(parse_tuple_arity(&body)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Kind::UnitStruct),
+            other => panic!("serde derive: expected struct body, got {other:?}"),
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_input(input);
+    let body = match &kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let pats: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                pats.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let pats = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pats} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_input(input);
+    let body = match &kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__get_field(__v, \"{name}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(::serde::__seq_elem(__v, \"{name}\", {i}, {n})?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name}({}))", elems.join(", "))
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "\"{vn}\" => {{ ::serde::__unit_variant(__payload, \"{name}\", \"{vn}\")?; Ok({name}::{vn}) }}"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vn}\" => {{ let __p = ::serde::__data_variant(__payload, \"{name}\", \"{vn}\")?; Ok({name}::{vn}(::serde::Deserialize::from_value(__p)?)) }}"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(::serde::__seq_elem(__p, \"{name}\", {i}, {n})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __p = ::serde::__data_variant(__payload, \"{name}\", \"{vn}\")?; Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::__get_field(__p, \"{name}::{vn}\", \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __p = ::serde::__data_variant(__payload, \"{name}\", \"{vn}\")?; Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __payload) = ::serde::__enum_parts(__v, \"{name}\")?;\n\
+                 match __tag {{ {} _ => Err(::serde::__unknown_variant(\"{name}\", __tag)) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
