@@ -25,7 +25,7 @@ use crate::batch::{partition_even, DecodeBatch};
 use crate::config::{D2pPolicy, P2dPolicy, PreemptionMode, TdPipeConfig};
 use crate::control::ControlPlane;
 use crate::cost::PpCost;
-use crate::exec::{PipelineExecutor, SimExecutor};
+use crate::exec::{ExecError, PipelineExecutor, SimExecutor};
 use crate::greedy::GreedyPrefillPlanner;
 use crate::intensity::{IntensityComparator, PrefillPhaseEstimate};
 use crate::plan::MemoryPlan;
@@ -192,14 +192,34 @@ impl TdPipeEngine {
     /// single scheduling loop: only the execution substrate varies.
     ///
     /// # Panics
-    /// As [`Self::run_with_arrivals`].
+    /// As [`Self::run_with_arrivals`], plus on an execution-plane
+    /// failure — use [`Self::try_run_on`] to observe those as structured
+    /// errors instead.
     pub fn run_on<P: OutputLenPredictor + ?Sized>(
         &self,
         trace: &Trace,
         arrivals: &[f64],
         predictor: &P,
-        mut sim: Box<dyn PipelineExecutor>,
+        sim: Box<dyn PipelineExecutor>,
     ) -> RunOutcome {
+        self.try_run_on(trace, arrivals, predictor, sim)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::run_on`]: an execution-plane failure (worker
+    /// panic, lost stage message, wedged shutdown) surfaces as a clean
+    /// [`ExecError`] instead of a panic or a hang — the waits inside a
+    /// supervised plane (`tdpipe-runtime`) are all deadline-bounded.
+    ///
+    /// # Panics
+    /// As [`Self::run_with_arrivals`] (scheduling preconditions only).
+    pub fn try_run_on<P: OutputLenPredictor + ?Sized>(
+        &self,
+        trace: &Trace,
+        arrivals: &[f64],
+        predictor: &P,
+        mut sim: Box<dyn PipelineExecutor>,
+    ) -> Result<RunOutcome, ExecError> {
         assert!(
             arrivals.is_empty() || arrivals.len() == trace.len(),
             "one arrival per request"
@@ -363,7 +383,7 @@ impl TdPipeEngine {
             // and Fig. 12 occupancy samples.
             let mut prefill_exec_end = now;
             for &(start, end, occ) in prefill_meta.iter() {
-                let (tag, finish) = sim.next_completion();
+                let (tag, finish) = sim.try_next_completion()?;
                 debug_assert!(tag > PREFILL_TAG, "prefills complete before decodes");
                 for &idx in &prefill_members[start..end] {
                     pool.note_first_token(idx, finish);
@@ -436,7 +456,7 @@ impl TdPipeEngine {
             let mut stored_ctx: u64 = batch_ctx.iter().sum();
 
             while let Some(bid) = inflight.pop_front() {
-                let (tag, finish) = sim.next_completion();
+                let (tag, finish) = sim.try_next_completion()?;
                 debug_assert_eq!(tag, bid as u64, "completions follow launch order");
                 now = finish;
                 decode_steps += 1;
@@ -611,7 +631,7 @@ impl TdPipeEngine {
         }
 
         pool.assert_conserved();
-        let (makespan, timeline) = sim.finish();
+        let (makespan, timeline) = sim.try_finish()?;
         let report = RunReport {
             scheduler: "TD-Pipe".into(),
             makespan,
@@ -624,12 +644,12 @@ impl TdPipeEngine {
             mean_utilization: timeline.mean_utilization(),
             latency: pool.latency_summary(),
         };
-        RunOutcome {
+        Ok(RunOutcome {
             report,
             timeline,
             occupancy,
             phases,
-        }
+        })
     }
 
     /// Price the hypothetical next prefill phase for the temporal-intensity

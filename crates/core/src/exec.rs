@@ -9,27 +9,85 @@
 
 use tdpipe_sim::{PipelineSim, SegmentKind, Timeline, TransferMode};
 
+/// Failure class of an execution plane (mirrors the runtime's
+/// `RuntimeError` without depending on the runtime crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecErrorKind {
+    /// A worker in the execution plane panicked.
+    WorkerPanicked,
+    /// A channel/endpoint closed under a live pipeline.
+    Disconnected,
+    /// A bounded wait (completion or shutdown drain) expired.
+    Timeout,
+    /// The plane violated its protocol (bad ack, out-of-order
+    /// completion — the shadow of a lost stage message).
+    ProtocolViolation,
+}
+
+/// A structured execution-plane failure as the engine sees it.
+///
+/// The deterministic simulator never produces one; the threaded
+/// hierarchy-controller maps every `RuntimeError` into this type so the
+/// scheduling loop observes a clean error instead of a cascading panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError {
+    /// Failure class.
+    pub kind: ExecErrorKind,
+    /// Human-readable root cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution plane failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// An execution plane: something that runs staged pipeline jobs.
 ///
 /// Completions are reported strictly in launch order (guaranteed by FIFO
 /// stages in both implementations).
 pub trait PipelineExecutor {
-    /// Launch a job (non-blocking).
+    /// Launch a job (non-blocking). A plane that can fail asynchronously
+    /// reports the failure from the completion path, not from here.
     fn launch(&mut self, ready: f64, exec: &[f64], xfer: &[f64], kind: SegmentKind, tag: u64);
 
     /// Block until the oldest outstanding job completes; returns
     /// `(tag, finish_time)`.
     ///
     /// # Panics
-    /// Panics if nothing is outstanding.
+    /// Panics if nothing is outstanding, or on an execution-plane
+    /// failure (prefer [`Self::try_next_completion`]).
     fn next_completion(&mut self) -> (u64, f64);
+
+    /// Fallible [`Self::next_completion`]: a supervised plane returns a
+    /// structured [`ExecError`] within a bounded wait instead of
+    /// panicking or hanging. Infallible planes use this default.
+    ///
+    /// # Panics
+    /// Panics if nothing is outstanding.
+    fn try_next_completion(&mut self) -> Result<(u64, f64), ExecError> {
+        Ok(self.next_completion())
+    }
 
     /// Number of launched-but-uncompleted jobs.
     fn outstanding(&self) -> usize;
 
     /// Finish collecting: wait out all outstanding jobs and return the
     /// final virtual time plus whatever timeline was recorded.
+    ///
+    /// # Panics
+    /// Panics on an execution-plane failure (prefer
+    /// [`Self::try_finish`]).
     fn finish(self: Box<Self>) -> (f64, Timeline);
+
+    /// Fallible [`Self::finish`] with the same bounded-wait guarantees
+    /// as [`Self::try_next_completion`].
+    fn try_finish(self: Box<Self>) -> Result<(f64, Timeline), ExecError> {
+        Ok(self.finish())
+    }
 }
 
 /// The deterministic simulator as an execution plane.
@@ -86,5 +144,24 @@ mod tests {
         assert!(f1 >= f0);
         let (drained, _) = Box::new(ex).finish();
         assert!(drained >= f1);
+    }
+
+    #[test]
+    fn sim_executor_try_paths_are_infallible() {
+        let mut ex = SimExecutor::new(2, TransferMode::Async, false);
+        ex.launch(0.0, &[1.0, 1.0], &[0.0], SegmentKind::Decode, 1);
+        let (tag, _) = ex.try_next_completion().expect("simulator cannot fail");
+        assert_eq!(tag, 1);
+        let boxed: Box<dyn PipelineExecutor> = Box::new(ex);
+        assert!(boxed.try_finish().is_ok());
+    }
+
+    #[test]
+    fn exec_error_displays_root_cause() {
+        let e = ExecError {
+            kind: ExecErrorKind::WorkerPanicked,
+            message: "worker 2 panicked: boom".into(),
+        };
+        assert!(e.to_string().contains("worker 2"));
     }
 }

@@ -107,9 +107,12 @@ impl WorkStealer {
         std::mem::take(&mut self.withheld)
     }
 
-    /// Current sliding-window target batch size.
+    /// Current sliding-window target batch size: exactly what
+    /// [`Self::rebalance`] would enforce right now with no freshly
+    /// finished requests — the withheld pool counts as live work and the
+    /// target never drops below 1.
     pub fn current_target(&self) -> usize {
-        self.window.iter().sum::<usize>() / self.window.len()
+        ((self.window.iter().sum::<usize>() + self.withheld.len()) / self.window.len()).max(1)
     }
 }
 
@@ -216,6 +219,35 @@ mod tests {
             max - min <= 2 && withheld <= 4,
             "not balanced: {sizes:?} withheld={withheld}"
         );
+    }
+
+    #[test]
+    fn current_target_pins_the_rebalance_formula() {
+        // Build a state with a non-empty withheld pool so the formula's
+        // pool term is observable.
+        let mut s = WorkStealer::new(&[128, 128]);
+        let mut heavy: Vec<usize> = (0..128).collect();
+        s.on_batch_return(&mut heavy, 60);
+        assert!(!s.withheld().is_empty(), "setup must withhold something");
+        // The advertised target is (window_sum + withheld) / len, floored
+        // at 1 — the exact arithmetic `rebalance` applies with
+        // finished_now = 0 (window now holds [128, heavy.len()]).
+        let expect = ((128 + heavy.len() + s.withheld().len()) / 2).max(1);
+        assert_eq!(s.current_target(), expect);
+        // And it predicts what rebalancing actually enforces: a large
+        // returning batch is trimmed to exactly this target.
+        let advertised = s.current_target();
+        let mut big: Vec<usize> = (1000..1300).collect();
+        s.on_batch_return(&mut big, 0);
+        assert_eq!(big.len(), advertised);
+    }
+
+    #[test]
+    fn current_target_never_reports_zero() {
+        // All-empty window: rebalance floors the target at 1, and the
+        // observable target must agree instead of reporting 0.
+        let s = WorkStealer::new(&[0, 0, 0]);
+        assert_eq!(s.current_target(), 1);
     }
 
     #[test]

@@ -1,35 +1,116 @@
 //! The control-plane handle: spawn workers, launch jobs, collect results.
 
 use crate::comm::{CommContext, Completion, JobSpec, StageMsg, StartAck};
-use crate::worker::{run_worker, WorkerSegment};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::error::RuntimeError;
+use crate::fault::FaultPlan;
+use crate::worker::{run_worker, WorkerChannels, WorkerConfig, WorkerExit, WorkerLog};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::panic::AssertUnwindSafe;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use tdpipe_sim::TransferMode;
+
+/// How long the disconnect path waits for the *root-cause* exit report.
+///
+/// A failing worker drops its channel endpoints (unblocking neighbours)
+/// *before* it sends its own exit report, so the disconnect cascade can
+/// reach the engine a scheduling quantum ahead of the report that
+/// explains it. The report is causally already in flight at that point;
+/// this grace bound is how long we let it land before settling for the
+/// bare disconnect.
+const SUPERVISION_GRACE: Duration = Duration::from_millis(200);
+
+/// Spawn-time configuration for a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Keep the full per-job segment log on every worker (`false` keeps
+    /// bounded per-stage aggregates instead — the right setting for long
+    /// runs that don't need a timeline).
+    pub record_segments: bool,
+    /// Injected faults ([`FaultPlan::none`] in production).
+    pub faults: FaultPlan,
+    /// Default bounded wait used by [`Cluster::next_completion`].
+    pub completion_timeout: Duration,
+    /// Default bounded wait used by the executor's shutdown path.
+    pub shutdown_deadline: Duration,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            record_segments: true,
+            faults: FaultPlan::none(),
+            completion_timeout: Duration::from_secs(10),
+            shutdown_deadline: Duration::from_secs(10),
+        }
+    }
+}
 
 /// A running execution plane: `world` worker threads chained by channels.
 ///
 /// The caller is the centralized engine. `launch` is non-blocking (the
-/// whole point of the hierarchy-controller); completions arrive on
-/// [`Cluster::completions`] in pipeline order.
+/// whole point of the hierarchy-controller); completions arrive via
+/// [`Cluster::next_completion`] in pipeline order.
+///
+/// # Supervision protocol
+///
+/// Every worker runs under `catch_unwind` and reports exactly one
+/// [`WorkerExit`] on a dedicated supervision channel — *after* its own
+/// channel endpoints are dropped. A dead stage therefore disconnects its
+/// neighbours, which exit with [`RuntimeError::ChannelDisconnected`] and
+/// report in turn: one failure drains the whole pipeline instead of
+/// wedging it. The engine-facing calls translate whatever the
+/// supervision channel holds into the most severe root cause (a panic
+/// outranks the disconnects it causes). Dropping a `Cluster` without
+/// calling [`Cluster::shutdown`] is also safe: closing `to_first`
+/// triggers the same cascade and the detached workers exit on their own.
 pub struct Cluster {
     world: u32,
     to_first: Sender<StageMsg>,
     completions: Receiver<Completion>,
-    handles: Vec<JoinHandle<Vec<WorkerSegment>>>,
+    supervision: Receiver<WorkerExit>,
+    /// Exit reports consumed while probing for a root cause before
+    /// shutdown; replayed by the shutdown drain.
+    early_exits: Vec<WorkerExit>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Render a panic payload for the error report.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Cluster {
-    /// Spawn `world` workers with the given transfer semantics.
+    /// Spawn `world` workers with the given transfer semantics and
+    /// default options (full segment logs, no faults).
     ///
     /// # Panics
-    /// Panics if `world == 0`.
+    /// Panics if `world == 0` or an OS thread cannot be spawned.
     pub fn spawn(world: u32, mode: TransferMode) -> Self {
+        Self::spawn_with(world, mode, ClusterOptions::default())
+    }
+
+    /// Spawn `world` workers with explicit [`ClusterOptions`].
+    ///
+    /// # Panics
+    /// Panics if `world == 0` or an OS thread cannot be spawned.
+    pub fn spawn_with(world: u32, mode: TransferMode, opts: ClusterOptions) -> Self {
         assert!(world > 0, "need at least one worker");
         let (to_first, first_inbox) = unbounded::<StageMsg>();
         let (comp_tx, completions) = unbounded::<Completion>();
+        let (sup_tx, supervision) = unbounded::<WorkerExit>();
 
         let mut handles = Vec::with_capacity(world as usize);
-        let mut inbox = first_inbox;
+        // Each iteration consumes the inbox the previous one created; the
+        // last stage simply has no downstream, so no throwaway channel is
+        // ever fabricated.
+        let mut inbox = Some(first_inbox);
         let mut ack_tx_prev: Option<Sender<StartAck>> = None;
         for rank in 0..world {
             let ctx = CommContext { rank, world };
@@ -41,25 +122,49 @@ impl Cluster {
                 let (a_tx, a_rx) = unbounded::<StartAck>();
                 (Some(d_tx), Some(d_rx), ack_tx_prev.replace(a_tx), Some(a_rx))
             };
-            let channels = crate::worker::WorkerChannels {
-                inbox,
+            let channels = WorkerChannels {
+                inbox: inbox.take().expect("one inbox per rank"),
                 downstream,
                 ack_tx,
                 ack_rx,
                 completions: is_last.then(|| comp_tx.clone()),
             };
+            let cfg = WorkerConfig {
+                mode,
+                faults: opts.faults.compile(rank),
+                record_segments: opts.record_segments,
+            };
+            let sup = sup_tx.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("tdpipe-worker-{rank}"))
-                    .spawn(move || run_worker(ctx, channels, mode))
+                    .spawn(move || {
+                        // `channels` lives inside the closure: whether the
+                        // worker returns or unwinds, its endpoints drop
+                        // before the exit report is sent.
+                        let outcome =
+                            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                run_worker(ctx, channels, cfg)
+                            })) {
+                                Ok(result) => result,
+                                Err(payload) => Err(RuntimeError::WorkerPanicked {
+                                    rank,
+                                    detail: panic_detail(payload),
+                                }),
+                            };
+                        let _ = sup.send(WorkerExit { rank, outcome });
+                    })
                     .expect("spawn worker thread"),
             );
-            inbox = next_inbox.unwrap_or_else(|| unbounded::<StageMsg>().1);
+            inbox = next_inbox;
         }
+        debug_assert!(inbox.is_none(), "every inbox is owned by a worker");
         Cluster {
             world,
             to_first,
             completions,
+            supervision,
+            early_exits: Vec::new(),
             handles,
         }
     }
@@ -70,11 +175,13 @@ impl Cluster {
         self.world
     }
 
-    /// Launch a job asynchronously (returns immediately).
+    /// Launch a job asynchronously (returns immediately). Fails with the
+    /// root-cause [`RuntimeError`] when the first stage is gone.
     ///
     /// # Panics
-    /// Panics if the spec's vector lengths don't match the world size.
-    pub fn launch(&self, spec: JobSpec) {
+    /// Panics if the spec's vector lengths don't match the world size
+    /// (API misuse, not a runtime failure).
+    pub fn launch(&mut self, spec: JobSpec) -> Result<(), RuntimeError> {
         assert_eq!(spec.exec.len(), self.world as usize, "exec per stage");
         assert_eq!(
             spec.xfer.len() + 1,
@@ -82,27 +189,169 @@ impl Cluster {
             "xfer per boundary"
         );
         let arrive = spec.ready;
-        self.to_first
-            .send(StageMsg::Job { spec, arrive })
-            .expect("first worker alive");
+        if self.to_first.send(StageMsg::Job { spec, arrive }).is_err() {
+            return Err(self.settled_root_cause().unwrap_or(
+                RuntimeError::ChannelDisconnected {
+                    rank: 0,
+                    context: "first stage inbox closed",
+                },
+            ));
+        }
+        Ok(())
     }
 
-    /// The completion stream (one message per job, in launch order).
-    #[inline]
-    pub fn completions(&self) -> &Receiver<Completion> {
-        &self.completions
+    /// Wait (bounded) for the next completion. On failure, reports the
+    /// most severe root cause the supervision channel knows about —
+    /// e.g. [`RuntimeError::WorkerPanicked`] rather than the secondary
+    /// disconnects it caused. A bare timeout with every worker healthy
+    /// becomes [`RuntimeError::CompletionTimedOut`] (a lost message).
+    pub fn next_completion(&mut self, timeout: Duration) -> Result<Completion, RuntimeError> {
+        match self.completions.recv_timeout(timeout) {
+            Ok(c) => Ok(c),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(self.settled_root_cause().unwrap_or(
+                    RuntimeError::ChannelDisconnected {
+                        rank: self.world - 1,
+                        context: "completion stream closed",
+                    },
+                ))
+            }
+            Err(RecvTimeoutError::Timeout) => match self.root_cause() {
+                Some(e) => Err(e),
+                None => Err(RuntimeError::CompletionTimedOut { waited: timeout }),
+            },
+        }
+    }
+
+    /// Drain whatever the supervision channel holds right now and return
+    /// the most severe failure reported so far, if any. Consumed reports
+    /// are stashed for the shutdown drain.
+    fn root_cause(&mut self) -> Option<RuntimeError> {
+        while let Some(exit) = self.supervision.try_recv() {
+            self.early_exits.push(exit);
+        }
+        self.early_exits
+            .iter()
+            .filter_map(|e| e.outcome.as_ref().err())
+            .max_by_key(|e| e.severity())
+            .cloned()
+    }
+
+    /// [`Self::root_cause`], but when all we have so far is cascade noise
+    /// (bare disconnects), wait up to [`SUPERVISION_GRACE`] for the
+    /// higher-severity report — a panic or protocol violation — that is
+    /// causally in flight behind the disconnect we just observed.
+    fn settled_root_cause(&mut self) -> Option<RuntimeError> {
+        let deadline = Instant::now() + SUPERVISION_GRACE;
+        loop {
+            let worst = self.root_cause();
+            match &worst {
+                Some(e) if !matches!(e, RuntimeError::ChannelDisconnected { .. }) => {
+                    return worst
+                }
+                _ => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return worst;
+            }
+            match self.supervision.recv_timeout(deadline - now) {
+                Ok(exit) => self.early_exits.push(exit),
+                Err(_) => return self.root_cause(),
+            }
+        }
     }
 
     /// Shut the pipeline down and collect every worker's activity log,
     /// indexed by rank.
-    pub fn shutdown(self) -> Vec<Vec<WorkerSegment>> {
-        self.to_first
-            .send(StageMsg::Shutdown)
-            .expect("first worker alive");
-        self.handles
+    ///
+    /// This call **never hangs**: it sends `Shutdown` down the chain,
+    /// then waits at most `deadline` for all `world` exit reports. If a
+    /// stage died without forwarding `Shutdown`, the disconnect cascade
+    /// still produces a report from every live worker; a worker that is
+    /// truly wedged (see [`crate::fault::Fault::StallAt`]) makes the
+    /// drain return [`RuntimeError::ShutdownTimedOut`] with the missing
+    /// ranks, leaving their threads detached rather than joining them.
+    ///
+    /// When any worker failed, the most severe root cause is returned
+    /// instead of the logs.
+    pub fn shutdown(self, deadline: Duration) -> Result<Vec<WorkerLog>, RuntimeError> {
+        let Cluster {
+            world,
+            to_first,
+            completions,
+            supervision,
+            early_exits,
+            handles,
+        } = self;
+        // If rank 0 is already dead this send fails; the cascade that
+        // killed it is also what will drain everyone else.
+        let _ = to_first.send(StageMsg::Shutdown);
+        drop(to_first);
+        drop(completions);
+
+        let start = Instant::now();
+        let mut exits: Vec<Option<Result<WorkerLog, RuntimeError>>> =
+            (0..world).map(|_| None).collect();
+        let mut reported = 0usize;
+        for exit in early_exits {
+            if exits[exit.rank as usize].is_none() {
+                reported += 1;
+            }
+            exits[exit.rank as usize] = Some(exit.outcome);
+        }
+        while reported < world as usize {
+            let missing: Vec<u32> = (0..world)
+                .filter(|&r| exits[r as usize].is_none())
+                .collect();
+            let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+                return Err(RuntimeError::ShutdownTimedOut {
+                    waited: start.elapsed(),
+                    missing,
+                });
+            };
+            match supervision.recv_timeout(remaining) {
+                Ok(exit) => {
+                    if exits[exit.rank as usize].is_none() {
+                        reported += 1;
+                    }
+                    exits[exit.rank as usize] = Some(exit.outcome);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(RuntimeError::ShutdownTimedOut {
+                        waited: start.elapsed(),
+                        missing,
+                    })
+                }
+                // Cannot happen while we hold the receiver and threads
+                // each send once; treat it as the missing ranks' loss.
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::ChannelDisconnected {
+                        rank: missing.first().copied().unwrap_or(0),
+                        context: "supervision channel closed early",
+                    })
+                }
+            }
+        }
+        // Every worker has reported (its last act): joins are bounded.
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut worst: Option<RuntimeError> = None;
+        for outcome in exits.iter().flatten() {
+            if let Err(e) = outcome {
+                if worst.as_ref().map_or(true, |w| e.severity() > w.severity()) {
+                    worst = Some(e.clone());
+                }
+            }
+        }
+        if let Some(e) = worst {
+            return Err(e);
+        }
+        Ok(exits
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+            .map(|o| o.expect("all reported").expect("no failures"))
+            .collect())
     }
 }
 
@@ -110,6 +359,8 @@ impl Cluster {
 mod tests {
     use super::*;
     use tdpipe_sim::{PipelineSim, SegmentKind};
+
+    const WAIT: Duration = Duration::from_secs(5);
 
     fn spec(id: u64, ready: f64, exec: Vec<f64>, xfer: Vec<f64>) -> JobSpec {
         JobSpec {
@@ -123,12 +374,12 @@ mod tests {
 
     #[test]
     fn single_job_latency() {
-        let c = Cluster::spawn(3, TransferMode::Async);
-        c.launch(spec(7, 0.0, vec![1.0, 2.0, 3.0], vec![0.1, 0.1]));
-        let done = c.completions().recv().unwrap();
+        let mut c = Cluster::spawn(3, TransferMode::Async);
+        c.launch(spec(7, 0.0, vec![1.0, 2.0, 3.0], vec![0.1, 0.1])).unwrap();
+        let done = c.next_completion(WAIT).unwrap();
         assert_eq!(done.id, 7);
         assert!((done.finish - 6.2).abs() < 1e-12);
-        c.shutdown();
+        c.shutdown(WAIT).unwrap();
     }
 
     #[test]
@@ -137,7 +388,7 @@ mod tests {
         // thread pipeline and the deterministic simulator must agree on
         // every completion time.
         let world = 4u32;
-        let c = Cluster::spawn(world, TransferMode::Async);
+        let mut c = Cluster::spawn(world, TransferMode::Async);
         let mut sim = PipelineSim::new(world, TransferMode::Async, false);
         let mut expect = Vec::new();
         let mut x = 9_u64;
@@ -153,10 +404,10 @@ mod tests {
             let ready = (id as f64) * 0.01;
             let t = sim.launch(ready, &exec, &xfer, SegmentKind::Decode, id);
             expect.push((id, t.finish));
-            c.launch(spec(id, ready, exec, xfer));
+            c.launch(spec(id, ready, exec, xfer)).unwrap();
         }
         for (id, finish) in expect {
-            let done = c.completions().recv().unwrap();
+            let done = c.next_completion(WAIT).unwrap();
             assert_eq!(done.id, id, "completion order must match launch order");
             assert!(
                 (done.finish - finish).abs() < 1e-9,
@@ -164,15 +415,15 @@ mod tests {
                 done.finish
             );
         }
-        let logs = c.shutdown();
+        let logs = c.shutdown(WAIT).unwrap();
         assert_eq!(logs.len(), world as usize);
-        assert!(logs.iter().all(|l| l.len() == 200));
+        assert!(logs.iter().all(|l| l.jobs() == 200));
     }
 
     #[test]
     fn rendezvous_mode_matches_simulator() {
         let world = 3u32;
-        let c = Cluster::spawn(world, TransferMode::Rendezvous);
+        let mut c = Cluster::spawn(world, TransferMode::Rendezvous);
         let mut sim = PipelineSim::new(world, TransferMode::Rendezvous, false);
         let mut expect = Vec::new();
         for id in 0..50u64 {
@@ -181,10 +432,10 @@ mod tests {
             let xfer = vec![0.002; 2];
             let t = sim.launch(0.0, &exec, &xfer, SegmentKind::Prefill, id);
             expect.push(t.finish);
-            c.launch(spec(id, 0.0, exec, xfer));
+            c.launch(spec(id, 0.0, exec, xfer)).unwrap();
         }
         for (id, finish) in expect.into_iter().enumerate() {
-            let done = c.completions().recv().unwrap();
+            let done = c.next_completion(WAIT).unwrap();
             assert_eq!(done.id as usize, id);
             assert!(
                 (done.finish - finish).abs() < 1e-9,
@@ -192,7 +443,7 @@ mod tests {
                 done.finish
             );
         }
-        c.shutdown();
+        c.shutdown(WAIT).unwrap();
     }
 
     #[test]
@@ -201,20 +452,20 @@ mod tests {
         // jobs, decoupled (async) transfers finish the same workload in
         // less virtual time than blocking rendezvous transfers.
         let run = |mode| {
-            let c = Cluster::spawn(4, mode);
+            let mut c = Cluster::spawn(4, mode);
             for id in 0..40u64 {
                 let exec = if id % 4 == 0 {
                     vec![0.4, 0.4, 0.4, 0.4]
                 } else {
                     vec![0.02, 0.02, 0.02, 0.02]
                 };
-                c.launch(spec(id, 0.0, exec, vec![0.001; 3]));
+                c.launch(spec(id, 0.0, exec, vec![0.001; 3])).unwrap();
             }
             let mut last = 0.0;
             for _ in 0..40 {
-                last = c.completions().recv().unwrap().finish;
+                last = c.next_completion(WAIT).unwrap().finish;
             }
-            c.shutdown();
+            c.shutdown(WAIT).unwrap();
             last
         };
         let async_t = run(TransferMode::Async);
@@ -227,11 +478,46 @@ mod tests {
 
     #[test]
     fn single_stage_world() {
-        let c = Cluster::spawn(1, TransferMode::Async);
-        c.launch(spec(0, 0.5, vec![1.0], vec![]));
-        let done = c.completions().recv().unwrap();
+        let mut c = Cluster::spawn(1, TransferMode::Async);
+        c.launch(spec(0, 0.5, vec![1.0], vec![])).unwrap();
+        let done = c.next_completion(WAIT).unwrap();
         assert!((done.finish - 1.5).abs() < 1e-12);
-        let logs = c.shutdown();
-        assert_eq!(logs[0].len(), 1);
+        let logs = c.shutdown(WAIT).unwrap();
+        assert_eq!(logs[0].jobs(), 1);
+    }
+
+    #[test]
+    fn summary_mode_keeps_aggregates_not_segments() {
+        let opts = ClusterOptions {
+            record_segments: false,
+            ..ClusterOptions::default()
+        };
+        let mut c = Cluster::spawn_with(2, TransferMode::Async, opts);
+        for id in 0..10u64 {
+            c.launch(spec(id, 0.0, vec![0.5, 0.25], vec![0.01])).unwrap();
+        }
+        for _ in 0..10 {
+            c.next_completion(WAIT).unwrap();
+        }
+        let logs = c.shutdown(WAIT).unwrap();
+        assert_eq!(logs.len(), 2);
+        for log in &logs {
+            assert_eq!(log.jobs(), 10);
+            assert!(log.segments().is_empty(), "summary mode keeps no segments");
+            assert!(log.busy() > 0.0);
+        }
+        assert!((logs[0].busy() - 5.0).abs() < 1e-9);
+        assert!((logs[1].busy() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropping_a_cluster_without_shutdown_is_clean() {
+        // No shutdown message at all: closing the engine-side endpoints
+        // must cascade the disconnect so detached workers exit on their
+        // own instead of leaking blocked threads.
+        let mut c = Cluster::spawn(4, TransferMode::Async);
+        c.launch(spec(0, 0.0, vec![0.1; 4], vec![0.0; 3])).unwrap();
+        c.next_completion(WAIT).unwrap();
+        drop(c);
     }
 }

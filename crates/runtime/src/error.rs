@@ -1,0 +1,130 @@
+//! The runtime's structured failure surface.
+//!
+//! Every way the threaded hierarchy-controller can fail maps to one
+//! [`RuntimeError`] variant. The supervision protocol (see
+//! [`crate::cluster::Cluster`]) guarantees these are *returned*, never
+//! panicked across threads and never waited on forever: a worker that
+//! dies drops its channel endpoints, its neighbours observe the
+//! disconnect and exit with their own error, and the engine-side calls
+//! (`launch` / `next_completion` / `shutdown`) translate the resulting
+//! supervision reports into the most informative variant available.
+
+use std::time::Duration;
+
+/// A structured execution-plane failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A worker thread panicked. `detail` carries the panic payload when
+    /// it was a string (injected faults always are).
+    WorkerPanicked {
+        /// Pipeline rank of the dead worker.
+        rank: u32,
+        /// Panic message, if extractable.
+        detail: String,
+    },
+    /// A channel endpoint closed while a worker (or the engine) still
+    /// needed it — the observable shadow of a neighbour dying.
+    ChannelDisconnected {
+        /// Rank that observed the disconnect (engine-side observations
+        /// report the rank of the stage whose channel vanished).
+        rank: u32,
+        /// Which operation saw the closed channel.
+        context: &'static str,
+    },
+    /// `Cluster::shutdown` gave up waiting for worker exit reports. The
+    /// unreported workers are left detached (never joined) so the caller
+    /// is *never* blocked on them.
+    ShutdownTimedOut {
+        /// How long the shutdown drain waited.
+        waited: Duration,
+        /// Ranks that never reported an exit.
+        missing: Vec<u32>,
+    },
+    /// No completion arrived within the engine's bounded wait, and no
+    /// worker reported a failure — a stage message was lost or a stage
+    /// is stalled.
+    CompletionTimedOut {
+        /// The wait that expired.
+        waited: Duration,
+    },
+    /// A rendezvous start-ack claimed an impossible start time (earlier
+    /// than the job's arrival at the acking stage).
+    AckProtocolViolation {
+        /// Rank that detected the violation (the upstream sender).
+        rank: u32,
+        /// What the ack claimed vs what was possible.
+        detail: String,
+    },
+}
+
+impl RuntimeError {
+    /// Ordering used to pick the most informative root cause when one
+    /// failure cascades into several (a panic at rank R also disconnects
+    /// R's neighbours; the panic is the story worth telling).
+    pub(crate) fn severity(&self) -> u8 {
+        match self {
+            RuntimeError::WorkerPanicked { .. } => 4,
+            RuntimeError::AckProtocolViolation { .. } => 3,
+            RuntimeError::ChannelDisconnected { .. } => 2,
+            RuntimeError::ShutdownTimedOut { .. } => 1,
+            RuntimeError::CompletionTimedOut { .. } => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::WorkerPanicked { rank, detail } => {
+                write!(f, "worker {rank} panicked: {detail}")
+            }
+            RuntimeError::ChannelDisconnected { rank, context } => {
+                write!(f, "channel disconnected at rank {rank} ({context})")
+            }
+            RuntimeError::ShutdownTimedOut { waited, missing } => write!(
+                f,
+                "shutdown timed out after {waited:?}; ranks {missing:?} never reported"
+            ),
+            RuntimeError::CompletionTimedOut { waited } => {
+                write!(f, "no completion within {waited:?} (lost or stalled stage message)")
+            }
+            RuntimeError::AckProtocolViolation { rank, detail } => {
+                write!(f, "rendezvous ack protocol violated at rank {rank}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_prefers_root_cause() {
+        let panic = RuntimeError::WorkerPanicked {
+            rank: 1,
+            detail: "boom".into(),
+        };
+        let disc = RuntimeError::ChannelDisconnected {
+            rank: 2,
+            context: "inbox closed before shutdown",
+        };
+        let timeout = RuntimeError::CompletionTimedOut {
+            waited: Duration::from_millis(10),
+        };
+        assert!(panic.severity() > disc.severity());
+        assert!(disc.severity() > timeout.severity());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::ShutdownTimedOut {
+            waited: Duration::from_millis(250),
+            missing: vec![1, 3],
+        };
+        let s = e.to_string();
+        assert!(s.contains("250") && s.contains('1') && s.contains('3'), "{s}");
+    }
+}

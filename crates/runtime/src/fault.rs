@@ -1,0 +1,167 @@
+//! Deterministic fault injection for the execution plane.
+//!
+//! Every failure mode the supervision protocol defends against can be
+//! triggered on purpose: a [`FaultPlan`] names (rank, job-index) points
+//! where a worker panics, silently drops its outgoing stage message,
+//! delays a transfer by a virtual Δ, corrupts a rendezvous ack, or
+//! stalls without ever exiting. Job indices count the `Job` messages a
+//! given rank has processed (0-based), so a plan is reproducible
+//! independent of thread interleaving.
+//!
+//! An empty plan ([`FaultPlan::none`]) is the production configuration
+//! and is guaranteed not to perturb behaviour: the per-worker compiled
+//! form is a handful of `Option`s checked on the virtual-time path only.
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Worker `rank` panics when it is about to process its `job`-th
+    /// `Job` message.
+    PanicAt {
+        /// Target pipeline rank.
+        rank: u32,
+        /// 0-based per-rank job index.
+        job: u64,
+    },
+    /// Worker `rank` executes its `job`-th job but never forwards it
+    /// (the downstream send — or the completion, on the last stage — is
+    /// suppressed, modelling a lost message).
+    DropMessage {
+        /// Target pipeline rank.
+        rank: u32,
+        /// 0-based per-rank job index.
+        job: u64,
+    },
+    /// Worker `rank` adds `delay` virtual seconds to the transfer of its
+    /// `job`-th job (a slow wire; perturbs timing, not liveness).
+    DelayTransfer {
+        /// Target pipeline rank.
+        rank: u32,
+        /// 0-based per-rank job index.
+        job: u64,
+        /// Extra virtual seconds on the wire.
+        delay: f64,
+    },
+    /// Worker `rank` acknowledges its `job`-th job with an impossibly
+    /// early start time (rendezvous mode only), tripping the upstream
+    /// ack-protocol check.
+    CorruptAck {
+        /// Target pipeline rank (the *acking*, downstream side).
+        rank: u32,
+        /// 0-based per-rank job index.
+        job: u64,
+    },
+    /// Worker `rank` blocks forever when it is about to process its
+    /// `job`-th job — the stall that `shutdown(deadline)` must survive.
+    /// The thread is intentionally leaked (detached) on timeout.
+    StallAt {
+        /// Target pipeline rank.
+        rank: u32,
+        /// 0-based per-rank job index.
+        job: u64,
+    },
+}
+
+/// A set of injected faults, threaded through `Cluster::spawn_with`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The fault-free production plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Add an arbitrary fault.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Panic at (rank, job).
+    pub fn panic_at(self, rank: u32, job: u64) -> Self {
+        self.with(Fault::PanicAt { rank, job })
+    }
+
+    /// Drop the outgoing message of (rank, job).
+    pub fn drop_message(self, rank: u32, job: u64) -> Self {
+        self.with(Fault::DropMessage { rank, job })
+    }
+
+    /// Delay the transfer of (rank, job) by `delay` virtual seconds.
+    pub fn delay_transfer(self, rank: u32, job: u64, delay: f64) -> Self {
+        self.with(Fault::DelayTransfer { rank, job, delay })
+    }
+
+    /// Corrupt the rendezvous ack of (rank, job).
+    pub fn corrupt_ack(self, rank: u32, job: u64) -> Self {
+        self.with(Fault::CorruptAck { rank, job })
+    }
+
+    /// Stall forever at (rank, job).
+    pub fn stall_at(self, rank: u32, job: u64) -> Self {
+        self.with(Fault::StallAt { rank, job })
+    }
+
+    /// Compile the plan down to the one worker's trigger points.
+    pub(crate) fn compile(&self, rank: u32) -> WorkerFaults {
+        let mut w = WorkerFaults::default();
+        for f in &self.faults {
+            match *f {
+                Fault::PanicAt { rank: r, job } if r == rank => w.panic_at = Some(job),
+                Fault::DropMessage { rank: r, job } if r == rank => w.drop_at = Some(job),
+                Fault::DelayTransfer { rank: r, job, delay } if r == rank => {
+                    w.delay_at = Some((job, delay))
+                }
+                Fault::CorruptAck { rank: r, job } if r == rank => w.corrupt_ack_at = Some(job),
+                Fault::StallAt { rank: r, job } if r == rank => w.stall_at = Some(job),
+                _ => {}
+            }
+        }
+        w
+    }
+}
+
+/// A single rank's compiled trigger points (at most one per kind).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct WorkerFaults {
+    pub panic_at: Option<u64>,
+    pub drop_at: Option<u64>,
+    pub delay_at: Option<(u64, f64)>,
+    pub corrupt_ack_at: Option<u64>,
+    pub stall_at: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_targets_only_the_named_rank() {
+        let plan = FaultPlan::none()
+            .panic_at(1, 5)
+            .drop_message(2, 3)
+            .delay_transfer(1, 7, 0.25);
+        let w0 = plan.compile(0);
+        assert_eq!(w0, WorkerFaults::default());
+        let w1 = plan.compile(1);
+        assert_eq!(w1.panic_at, Some(5));
+        assert_eq!(w1.delay_at, Some((7, 0.25)));
+        assert_eq!(w1.drop_at, None);
+        let w2 = plan.compile(2);
+        assert_eq!(w2.drop_at, Some(3));
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::none().stall_at(0, 0).is_empty());
+    }
+}

@@ -27,12 +27,29 @@
 //!   are both implemented, so the benefit of the asynchronous
 //!   hierarchy-controller over conventional blocking sends is
 //!   demonstrable with real threads.
+//!
+//! # Fault model
+//!
+//! Failure is an expected event, not a fatal one. Workers are
+//! *supervised*: each runs under `catch_unwind` and reports its exit on
+//! a dedicated supervision channel, every channel operation maps to a
+//! structured [`RuntimeError`] instead of a panic, and
+//! [`Cluster::shutdown`] drains with a bounded deadline so the engine is
+//! never deadlocked by a dead stage. A [`FaultPlan`] injects panics,
+//! lost messages, slow wires, corrupt acks, and stalls deterministically
+//! so every failure path is testable; [`FaultPlan::none`] is guaranteed
+//! to leave behaviour bit-identical to the simulator.
 
 pub mod cluster;
 pub mod comm;
+pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod worker;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterOptions};
 pub use comm::{CommContext, Completion, JobSpec};
+pub use error::RuntimeError;
 pub use executor::ThreadedExecutor;
+pub use fault::{Fault, FaultPlan};
+pub use worker::{WorkerLog, WorkerSegment, WorkerSummary};

@@ -99,6 +99,26 @@ impl Timeline {
         }
     }
 
+    /// Record pre-aggregated busy time for `device` spanning
+    /// `[start, end]` without individual segments — what a worker that
+    /// kept only bounded summaries (no per-job log) feeds back. The
+    /// aggregate accounting matches calling [`Timeline::record`] once
+    /// per original segment.
+    ///
+    /// # Panics
+    /// Panics if `end < start` or `busy` is negative.
+    pub fn record_busy(&mut self, device: u32, busy: f64, start: f64, end: f64) {
+        assert!(end >= start, "span ends before it starts");
+        assert!(busy >= 0.0, "negative busy time");
+        if self.busy.len() <= device as usize {
+            self.busy.resize(device as usize + 1, 0.0);
+        }
+        self.busy[device as usize] += busy;
+        self.end = self.end.max(end);
+        self.start = self.start.min(start);
+        self.any = true;
+    }
+
     /// All recorded segments (empty when recording is disabled).
     #[inline]
     pub fn segments(&self) -> &[Segment] {
@@ -246,5 +266,21 @@ mod tests {
     #[should_panic(expected = "ends before")]
     fn negative_segment_panics() {
         Timeline::new(false).record(0, 1.0, 0.5, SegmentKind::Comm, 0);
+    }
+
+    #[test]
+    fn record_busy_matches_per_segment_aggregates() {
+        let mut per_seg = Timeline::new(false);
+        per_seg.record(0, 0.0, 1.5, SegmentKind::Decode, 0);
+        per_seg.record(0, 2.0, 3.0, SegmentKind::Decode, 1);
+        per_seg.record(1, 0.5, 1.0, SegmentKind::Prefill, 0);
+        let mut agg = Timeline::new(false);
+        agg.record_busy(0, 1.5 + 1.0, 0.0, 3.0);
+        agg.record_busy(1, 0.5, 0.5, 1.0);
+        assert_eq!(per_seg.makespan(), agg.makespan());
+        assert_eq!(per_seg.busy_time(0), agg.busy_time(0));
+        assert_eq!(per_seg.busy_time(1), agg.busy_time(1));
+        assert_eq!(per_seg.mean_utilization(), agg.mean_utilization());
+        assert!(agg.segments().is_empty());
     }
 }

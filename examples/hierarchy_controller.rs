@@ -35,22 +35,25 @@ fn job_stream(cost: &PpCost) -> Vec<(Vec<f64>, Vec<f64>, SegmentKind)> {
 
 fn run(mode: TransferMode, jobs: &[(Vec<f64>, Vec<f64>, SegmentKind)]) -> (f64, f64) {
     let world = jobs[0].0.len() as u32;
+    let wait = std::time::Duration::from_secs(10);
     // Threads.
-    let cluster = Cluster::spawn(world, mode);
+    let mut cluster = Cluster::spawn(world, mode);
     for (id, (exec, xfer, kind)) in jobs.iter().enumerate() {
-        cluster.launch(JobSpec {
-            id: id as u64,
-            ready: 0.0,
-            exec: exec.clone(),
-            xfer: xfer.clone(),
-            kind: *kind,
-        });
+        cluster
+            .launch(JobSpec {
+                id: id as u64,
+                ready: 0.0,
+                exec: exec.clone(),
+                xfer: xfer.clone(),
+                kind: *kind,
+            })
+            .expect("launch on healthy cluster");
     }
     let mut threaded_last = 0.0;
     for _ in 0..jobs.len() {
-        threaded_last = cluster.completions().recv().unwrap().finish;
+        threaded_last = cluster.next_completion(wait).unwrap().finish;
     }
-    cluster.shutdown();
+    cluster.shutdown(wait).expect("clean shutdown");
     // Simulator.
     let mut sim = PipelineSim::new(world, mode, false);
     let mut sim_last = 0.0;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The one-command gate: everything a change must pass before merging.
+#
+#   1. release build of the whole workspace
+#   2. full test suite (unit + integration, all crates)
+#   3. bit-identical smoke diff against the committed Fig. 11 snapshot
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n\033[1m== %s ==\033[0m\n' "$1"; }
+
+step "build (release)"
+cargo build --release
+
+step "tests (workspace)"
+cargo test --release --workspace -q
+
+step "smoke (bit-identical fig11 snapshot)"
+scripts/smoke.sh
+
+printf '\nci OK: build + tests + smoke all green\n'

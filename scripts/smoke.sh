@@ -1,23 +1,53 @@
 #!/usr/bin/env bash
-# Smoke test: build, run the test suite, then regenerate Figure 11 at a
-# reduced request count and diff it byte-for-byte against the committed
-# snapshot. Any scheduling change that alters simulated results — however
-# slightly — fails the diff; pure performance work passes.
+# Smoke test: regenerate Figure 11 at a reduced request count and diff it
+# byte-for-byte against the committed snapshot. Any scheduling change that
+# alters simulated results — however slightly — fails the diff; pure
+# performance work passes.
 #
-# Usage: scripts/smoke.sh
+# Exits non-zero with a readable summary of what drifted. Build and test
+# are assumed done (scripts/ci.sh chains them); pass --build to run them
+# here too, preserving the old standalone behaviour.
+#
+# Usage: scripts/smoke.sh [--build]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build =="
-cargo build --release
-
-echo "== tests (tier 1) =="
-cargo test --release -q
+if [[ "${1:-}" == "--build" ]]; then
+    echo "== build =="
+    cargo build --release
+    echo "== tests (tier 1) =="
+    cargo test --release -q
+fi
 
 echo "== fig11 @ 200 requests vs committed snapshot =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 TDPIPE_RESULTS_DIR="$out" TDPIPE_REQUESTS=200 \
     cargo run --release -p tdpipe-bench --bin fig11_overall >/dev/null
-diff -u results/smoke/fig11_overall_200.json "$out/fig11_overall.json"
-echo "smoke OK: results are bit-identical to the committed snapshot"
+
+golden="results/smoke/fig11_overall_200.json"
+fresh="$out/fig11_overall.json"
+
+if [[ ! -f "$fresh" ]]; then
+    echo "smoke FAILED: fig11_overall produced no output at $fresh" >&2
+    exit 1
+fi
+
+if diff -u "$golden" "$fresh" >"$out/diff.txt" 2>&1; then
+    echo "smoke OK: results are bit-identical to the committed snapshot"
+    exit 0
+fi
+
+changed=$(grep -c '^[-+][^-+]' "$out/diff.txt" || true)
+echo "smoke FAILED: fig11 output drifted from the committed snapshot" >&2
+echo "  golden:  $golden" >&2
+echo "  fresh:   $fresh (deleted on exit)" >&2
+echo "  changed lines: $changed" >&2
+echo "  first differences:" >&2
+grep '^[-+][^-+]' "$out/diff.txt" | head -20 | sed 's/^/    /' >&2
+echo "If the drift is intentional (a scheduling change), regenerate the" >&2
+echo "snapshot and commit it:" >&2
+echo "  TDPIPE_RESULTS_DIR=results/smoke TDPIPE_REQUESTS=200 \\" >&2
+echo "      cargo run --release -p tdpipe-bench --bin fig11_overall && \\" >&2
+echo "      mv results/smoke/fig11_overall.json $golden" >&2
+exit 1

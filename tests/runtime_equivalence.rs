@@ -3,11 +3,14 @@
 //! mode — this is what licenses using the fast simulator for the paper's
 //! experiments while claiming the concurrent §3.2 architecture.
 
+use std::time::Duration;
 use tdpipe::core::cost::PpCost;
 use tdpipe::hw::NodeSpec;
 use tdpipe::model::ModelSpec;
 use tdpipe::runtime::{Cluster, JobSpec};
 use tdpipe::sim::{PipelineSim, SegmentKind, TransferMode};
+
+const WAIT: Duration = Duration::from_secs(10);
 
 fn engine_like_stream(cost: &PpCost, jobs: usize) -> Vec<(Vec<f64>, Vec<f64>, SegmentKind)> {
     let mut out = Vec::with_capacity(jobs);
@@ -41,18 +44,20 @@ fn assert_equivalent(mode: TransferMode, world: u32) {
         .map(|(id, (e, x, k))| sim.launch(0.0, e, x, *k, id as u64).finish)
         .collect();
 
-    let cluster = Cluster::spawn(world, mode);
+    let mut cluster = Cluster::spawn(world, mode);
     for (id, (e, x, k)) in stream.iter().enumerate() {
-        cluster.launch(JobSpec {
-            id: id as u64,
-            ready: 0.0,
-            exec: e.clone(),
-            xfer: x.clone(),
-            kind: *k,
-        });
+        cluster
+            .launch(JobSpec {
+                id: id as u64,
+                ready: 0.0,
+                exec: e.clone(),
+                xfer: x.clone(),
+                kind: *k,
+            })
+            .expect("launch on healthy cluster");
     }
     for (id, want) in expected.iter().enumerate() {
-        let got = cluster.completions().recv().expect("completion");
+        let got = cluster.next_completion(WAIT).expect("completion");
         assert_eq!(got.id as usize, id);
         assert!(
             (got.finish - want).abs() < 1e-9,
@@ -60,9 +65,9 @@ fn assert_equivalent(mode: TransferMode, world: u32) {
             got.finish
         );
     }
-    let logs = cluster.shutdown();
+    let logs = cluster.shutdown(WAIT).expect("clean shutdown");
     assert_eq!(logs.len(), world as usize);
-    assert!(logs.iter().all(|l| l.len() == 300));
+    assert!(logs.iter().all(|l| l.jobs() == 300));
 }
 
 #[test]
@@ -100,22 +105,24 @@ fn worker_segments_reconstruct_busy_time() {
         sim.launch(0.0, e, x, *k, id as u64);
     }
 
-    let cluster = Cluster::spawn(world, TransferMode::Async);
+    let mut cluster = Cluster::spawn(world, TransferMode::Async);
     for (id, (e, x, k)) in stream.iter().enumerate() {
-        cluster.launch(JobSpec {
-            id: id as u64,
-            ready: 0.0,
-            exec: e.clone(),
-            xfer: x.clone(),
-            kind: *k,
-        });
+        cluster
+            .launch(JobSpec {
+                id: id as u64,
+                ready: 0.0,
+                exec: e.clone(),
+                xfer: x.clone(),
+                kind: *k,
+            })
+            .expect("launch on healthy cluster");
     }
     for _ in 0..stream.len() {
-        cluster.completions().recv().unwrap();
+        cluster.next_completion(WAIT).unwrap();
     }
-    let logs = cluster.shutdown();
+    let logs = cluster.shutdown(WAIT).expect("clean shutdown");
     for (rank, log) in logs.iter().enumerate() {
-        let threaded_busy: f64 = log.iter().map(|s| s.end - s.start).sum();
+        let threaded_busy: f64 = log.segments().iter().map(|s| s.end - s.start).sum();
         let sim_busy = sim.timeline().busy_time(rank as u32);
         assert!(
             (threaded_busy - sim_busy).abs() < 1e-9,

@@ -3,12 +3,14 @@
 //! The build environment has no network access to crates.io, so the
 //! workspace patches `crossbeam` to this shim. Only the surface this
 //! repository uses is provided: `crossbeam::channel::{unbounded, Sender,
-//! Receiver}` with blocking `send`/`recv`, implemented over
-//! `std::sync::mpsc`. Semantics are identical for the single-consumer
-//! topology the runtime crate builds (one receiver per channel end).
+//! Receiver}` with blocking `send`/`recv`/`recv_timeout`, implemented
+//! over `std::sync::mpsc`. Semantics are identical for the
+//! single-consumer topology the runtime crate builds (one receiver per
+//! channel end).
 
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
 
     /// Unbounded multi-producer channel sender.
     pub struct Sender<T>(mpsc::Sender<T>);
@@ -44,6 +46,29 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`]: either the wait
+    /// expired with no message, or every sender disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout (senders may be alive).
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
@@ -67,6 +92,16 @@ pub mod channel {
         /// Non-blocking receive (returns `None` when empty or closed).
         pub fn try_recv(&self) -> Option<T> {
             self.0.try_recv().ok()
+        }
+
+        /// Block until a message arrives, the timeout expires, or all
+        /// senders disconnect. Queued messages are always delivered
+        /// before a disconnect is reported.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 }
