@@ -1,0 +1,48 @@
+//! # tdpipe-analyzer
+//!
+//! The repo's machine-checked correctness gate, in two layers:
+//!
+//! 1. **Invariant lint pass** ([`scan`], [`rules`], [`run`]) — a
+//!    lightweight Rust source model (comments and string literals
+//!    stripped, `#[cfg(test)]` / `mod tests` scopes tracked, per-line
+//!    `// analyzer: allow(<rule>) — <justification>` escapes honoured)
+//!    plus a rule engine with per-crate rule sets configured in
+//!    `analyzer.toml`:
+//!
+//!    * *determinism rules* for every crate that feeds serialized
+//!      reports — no `Instant::now` / `SystemTime`, no
+//!      `HashMap`/`HashSet` (iteration order leaks into output), no f64
+//!      sorts bypassing `total_cmp`;
+//!    * *panic-safety rules* for the supervised runtime and the engine's
+//!      execution-plane surface — no non-test
+//!      `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`, so every
+//!      runtime failure routes through `RuntimeError`/`ExecError`;
+//!    * *accounting rules* — lossy float→int `as` casts in
+//!      cost/intensity/kvcache accounting code must carry a written
+//!      justification.
+//!
+//!    A committed ratchet baseline ([`findings`]) makes CI fail on any
+//!    *new* finding while tolerating (and reporting) the baseline.
+//!
+//! 2. **Bounded protocol model checker** ([`protocol`]) — the
+//!    cluster↔worker supervision protocol (launch → exec → transfer-ack
+//!    → completion → `WorkerExit` → shutdown, including every fault
+//!    `FaultPlan` can inject) as an explicit state machine, exhaustively
+//!    explored over all interleavings for ≤3 stages × ≤3 in-flight
+//!    jobs. Machine-checked properties: no deadlock, exactly one
+//!    `WorkerExit` per rank on every path, and no completion delivered
+//!    after `ShutdownTimedOut`. The checker runs as ordinary `cargo
+//!    test`s, so the protocol proof re-runs in tier-1.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod findings;
+pub mod protocol;
+pub mod rules;
+pub mod run;
+pub mod scan;
+
+pub use config::Config;
+pub use findings::{Baseline, Finding, RatchetDiff};
+pub use run::{analyze_root, Analysis};

@@ -1,0 +1,345 @@
+//! The lint rules and their registry.
+//!
+//! Each rule is a pure function over one masked source line (see
+//! [`crate::scan`]); rules never see comments, strings, or test-scoped
+//! code. Rule names are the stable identifiers used in `analyzer.toml`,
+//! in `// analyzer: allow(<rule>)` escapes, and in the ratchet baseline.
+
+use crate::scan::find_word;
+
+/// A single rule: stable name, what it protects, and the check.
+pub struct Rule {
+    /// Stable identifier (config / allow / baseline key).
+    pub name: &'static str,
+    /// One-line description of the invariant the rule protects.
+    pub description: &'static str,
+    /// Returns a message when the masked line violates the rule.
+    pub check: fn(&str) -> Option<String>,
+}
+
+/// Every rule the analyzer knows, in documentation order.
+pub fn registry() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "no-instant-now",
+            description: "determinism: simulated results must not read the wall clock \
+                          (`Instant::now`)",
+            check: check_instant_now,
+        },
+        Rule {
+            name: "no-system-time",
+            description: "determinism: simulated results must not read `SystemTime`",
+            check: check_system_time,
+        },
+        Rule {
+            name: "no-hash-collections",
+            description: "determinism: `HashMap`/`HashSet` iteration order can leak into \
+                          serialized reports — use Vec/BTreeMap or index tables",
+            check: check_hash_collections,
+        },
+        Rule {
+            name: "f64-sort-total-cmp",
+            description: "determinism: f64 sorts must use `total_cmp`, not `partial_cmp` \
+                          (NaN makes the comparator non-total)",
+            check: check_f64_sort,
+        },
+        Rule {
+            name: "no-unwrap",
+            description: "panic-safety: runtime failures must route through \
+                          RuntimeError/ExecError, not `.unwrap()`",
+            check: check_unwrap,
+        },
+        Rule {
+            name: "no-expect",
+            description: "panic-safety: runtime failures must route through \
+                          RuntimeError/ExecError, not `.expect(..)`",
+            check: check_expect,
+        },
+        Rule {
+            name: "no-panic",
+            description: "panic-safety: `panic!` in supervised code bypasses the \
+                          structured failure surface",
+            check: check_panic,
+        },
+        Rule {
+            name: "no-todo",
+            description: "panic-safety: `todo!` must not reach supervised code",
+            check: check_todo,
+        },
+        Rule {
+            name: "no-unimplemented",
+            description: "panic-safety: `unimplemented!` must not reach supervised code",
+            check: check_unimplemented,
+        },
+        Rule {
+            name: "lossy-float-cast",
+            description: "accounting: a lossy float→int `as` cast in accounting code \
+                          needs a written justification (range, sign, rounding intent)",
+            check: check_lossy_float_cast,
+        },
+    ]
+}
+
+/// Look a rule up by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    registry().iter().find(|r| r.name == name)
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn check_instant_now(code: &str) -> Option<String> {
+    // Every occurrence matters: `fn f() -> Instant { Instant::now() }` has
+    // an innocent `Instant` before the offending call.
+    let mut from = 0;
+    while let Some(at) = find_word(&code[from..], "Instant").map(|p| from + p) {
+        let rest = code[at + "Instant".len()..].trim_start();
+        if rest.starts_with("::") && rest[2..].trim_start().starts_with("now") {
+            return Some("reads the wall clock via `Instant::now`".to_string());
+        }
+        from = at + "Instant".len();
+    }
+    None
+}
+
+fn check_system_time(code: &str) -> Option<String> {
+    find_word(code, "SystemTime").map(|_| "uses `SystemTime`".to_string())
+}
+
+fn check_hash_collections(code: &str) -> Option<String> {
+    for word in ["HashMap", "HashSet"] {
+        if find_word(code, word).is_some() {
+            return Some(format!(
+                "uses `{word}` (iteration order is nondeterministic)"
+            ));
+        }
+    }
+    None
+}
+
+fn check_f64_sort(code: &str) -> Option<String> {
+    let sorts = ["sort_by", "sort_unstable_by", "sort_by_cached_key"];
+    if sorts.iter().any(|s| find_word(code, s).is_some())
+        && find_word(code, "partial_cmp").is_some()
+    {
+        Some("float sort via `partial_cmp` — use `total_cmp`".to_string())
+    } else {
+        None
+    }
+}
+
+/// Match `.name` followed (past whitespace) by `(`, with `name` ending at
+/// a word boundary. Returns true if found.
+fn method_call(code: &str, name: &str) -> bool {
+    let pat = format!(".{name}");
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&pat) {
+        let at = from + pos;
+        let after = &code[at + pat.len()..];
+        let boundary = !after.chars().next().map(is_ident).unwrap_or(false);
+        if boundary && after.trim_start().starts_with('(') {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+fn check_unwrap(code: &str) -> Option<String> {
+    if method_call(code, "unwrap") {
+        Some("`.unwrap()` on a fallible value".to_string())
+    } else {
+        None
+    }
+}
+
+fn check_expect(code: &str) -> Option<String> {
+    if method_call(code, "expect") {
+        Some("`.expect(..)` on a fallible value".to_string())
+    } else {
+        None
+    }
+}
+
+fn bang_macro(code: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = find_word(&code[from..], name) {
+        let abs = from + at;
+        if code[abs + name.len()..].trim_start().starts_with('!') {
+            return true;
+        }
+        from = abs + name.len();
+    }
+    false
+}
+
+fn check_panic(code: &str) -> Option<String> {
+    bang_macro(code, "panic").then(|| "`panic!` invocation".to_string())
+}
+
+fn check_todo(code: &str) -> Option<String> {
+    bang_macro(code, "todo").then(|| "`todo!` invocation".to_string())
+}
+
+fn check_unimplemented(code: &str) -> Option<String> {
+    bang_macro(code, "unimplemented").then(|| "`unimplemented!` invocation".to_string())
+}
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Flag float→int `as` casts the scanner can prove are float-sourced:
+/// `expr.ceil()/floor()/round() as uN`, or a parenthesized source whose
+/// text visibly involves floats (`f64`/`f32`, a float literal, or a
+/// rounding call).
+fn check_lossy_float_cast(code: &str) -> Option<String> {
+    let mut from = 0;
+    while let Some(at) = find_word(&code[from..], "as") {
+        let abs = from + at;
+        from = abs + 2;
+        let after = code[abs + 2..].trim_start();
+        let Some(ty) = INT_TYPES.iter().find(|t| {
+            after.starts_with(**t)
+                && !after[t.len()..].chars().next().map(is_ident).unwrap_or(false)
+        }) else {
+            continue;
+        };
+        let before = code[..abs].trim_end();
+        if !before.ends_with(')') {
+            continue; // bare `ident as uN` — source type unknowable here
+        }
+        // Find the matching open paren of the trailing `)`.
+        let bytes: Vec<char> = before.chars().collect();
+        let mut depth = 0i32;
+        let mut open = None;
+        for (i, &c) in bytes.iter().enumerate().rev() {
+            match c {
+                ')' => depth += 1,
+                '(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let open = open?;
+        let inner: String = bytes[open + 1..bytes.len() - 1].iter().collect();
+        let callee: String = {
+            let head: String = bytes[..open].iter().collect();
+            let trimmed = head.trim_end();
+            trimmed
+                .chars()
+                .rev()
+                .take_while(|c| is_ident(*c))
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect()
+        };
+        let rounding = ["ceil", "floor", "round"].contains(&callee.as_str());
+        let floaty = inner.contains("f64")
+            || inner.contains("f32")
+            || inner.contains(".ceil(")
+            || inner.contains(".floor(")
+            || inner.contains(".round(")
+            || has_float_literal(&inner);
+        if rounding || floaty {
+            return Some(format!(
+                "lossy float→int cast (`.. as {ty}`) — justify range/sign or rework"
+            ));
+        }
+    }
+    None
+}
+
+/// A `digits.digits` float literal appears in the text.
+fn has_float_literal(s: &str) -> bool {
+    let b: Vec<char> = s.chars().collect();
+    for i in 0..b.len() {
+        if b[i] == '.'
+            && i > 0
+            && b[i - 1].is_ascii_digit()
+            && b.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fires(rule: &str, code: &str) -> bool {
+        (rule_by_name(rule).unwrap().check)(code).is_some()
+    }
+
+    #[test]
+    fn instant_now_variants() {
+        assert!(fires("no-instant-now", "let t = Instant::now();"));
+        assert!(fires("no-instant-now", "let t = std::time::Instant::now();"));
+        assert!(!fires("no-instant-now", "let d = deadline - Instant::elapsed(&x);"));
+        assert!(!fires("no-instant-now", "let x = now();"));
+    }
+
+    #[test]
+    fn hash_collections() {
+        assert!(fires("no-hash-collections", "use std::collections::HashMap;"));
+        assert!(fires("no-hash-collections", "let s: HashSet<u64> = x;"));
+        assert!(!fires("no-hash-collections", "let m: BTreeMap<u64, u64> = x;"));
+    }
+
+    #[test]
+    fn unwrap_and_expect() {
+        assert!(fires("no-unwrap", "let x = y.unwrap();"));
+        assert!(fires("no-unwrap", "let x = y.unwrap ( ) ;"));
+        assert!(!fires("no-unwrap", "let x = y.unwrap_or_else(|| 0);"));
+        assert!(fires("no-expect", "let x = y.expect(\"msg\");"));
+        assert!(!fires("no-expect", "let x = expected.pop();"));
+    }
+
+    #[test]
+    fn bang_macros() {
+        assert!(fires("no-panic", "panic!(\"boom\")"));
+        assert!(fires("no-panic", "std::panic!(\"boom\")"));
+        assert!(!fires("no-panic", "std::panic::catch_unwind(f)"));
+        assert!(!fires("no-panic", "fn panic_detail() {}"));
+        assert!(fires("no-todo", "todo!()"));
+        assert!(fires("no-unimplemented", "unimplemented!()"));
+        assert!(!fires("no-todo", "let todos = 3;"));
+    }
+
+    #[test]
+    fn f64_sort() {
+        assert!(fires(
+            "f64-sort-total-cmp",
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap());"
+        ));
+        assert!(!fires("f64-sort-total-cmp", "v.sort_by(f64::total_cmp);"));
+        assert!(!fires("f64-sort-total-cmp", "a.partial_cmp(&b)"));
+    }
+
+    #[test]
+    fn lossy_casts() {
+        assert!(fires("lossy-float-cast", "let b = (x * 0.9).ceil() as u64;"));
+        assert!(fires("lossy-float-cast", "let s = ((a / b).round() as u32).min(c);"));
+        assert!(fires("lossy-float-cast", "let n = (blocks as f64 * w) as u64;"));
+        assert!(!fires("lossy-float-cast", "let n = tokens as f64;"));
+        assert!(!fires("lossy-float-cast", "let n = blocks as u64;"));
+        assert!(!fires("lossy-float-cast", "let n = (a + b) as u64;"));
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<_> = registry().iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len());
+    }
+}

@@ -1,0 +1,627 @@
+//! A lightweight Rust source model.
+//!
+//! The scanner does not parse Rust — it *masks* it: comments and
+//! string/char literals are blanked out (preserving line structure), so
+//! the rule engine can pattern-match code without tripping on a
+//! `"panic!"` inside a string or a lint name inside a comment. On top of
+//! the masked text it tracks just enough structure for the lint pass:
+//!
+//! * **test scopes** — items under `#[cfg(test)]` / `#[test]` and
+//!   `mod tests { .. }` blocks are excluded from linting, and
+//!   `#[cfg(test)] mod name;` declarations mark whole sibling files as
+//!   test-only (see [`ScannedFile::gated_mods`]);
+//! * **allow escapes** — `// analyzer: allow(<rule>) — <justification>`
+//!   line comments suppress a named rule on the same line (trailing
+//!   comment) or on the next code line (standalone comment line). An
+//!   allow without a justification is itself reported.
+
+/// One source line of a scanned file.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments and string/char literals masked out.
+    pub code: String,
+    /// The raw source line (for excerpts in findings).
+    pub raw: String,
+    /// Whether any part of the line sits inside a test-only scope.
+    pub in_test: bool,
+}
+
+/// A parsed `analyzer: allow(...)` escape.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule names being allowed.
+    pub rules: Vec<String>,
+    /// The written justification (may be empty — reported if so).
+    pub justification: String,
+    /// Line the escape applies to.
+    pub target_line: usize,
+    /// Line the comment itself is written on.
+    pub comment_line: usize,
+}
+
+/// A fully scanned source file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Per-line info, 0-indexed by `line - 1`.
+    pub lines: Vec<LineInfo>,
+    /// Allow escapes, keyed by target line elsewhere.
+    pub allows: Vec<Allow>,
+    /// Module names declared as `#[cfg(test)] mod name;` — their sibling
+    /// `name.rs` files are test-only.
+    pub gated_mods: Vec<String>,
+}
+
+impl ScannedFile {
+    /// Allows that apply to `line` and mention `rule`.
+    pub fn allows_for(&self, line: usize, rule: &str) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.target_line == line && a.rules.iter().any(|r| r == rule))
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Masking lexer state.
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scan one file's source text into the model.
+pub fn scan_source(text: &str) -> ScannedFile {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut masked = String::with_capacity(text.len());
+    // (line, comment text) for every `//` comment.
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut cur_comment = String::new();
+    let mut line = 1usize;
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    cur_comment.clear();
+                    masked.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    masked.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    masked.push('"');
+                    i += 1;
+                }
+                'r' | 'b' => {
+                    // Possible raw/byte string: r", r#", br", b"...
+                    let prev_ident = i > 0 && is_ident(bytes[i - 1]);
+                    let mut j = i + 1;
+                    if c == 'b' && bytes.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if !prev_ident && bytes.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                        for _ in i..=j {
+                            masked.push(' ');
+                        }
+                        masked.pop();
+                        masked.push('"');
+                        i = j + 1;
+                        mode = Mode::RawStr(hashes);
+                    } else if !prev_ident && c == 'b' && bytes.get(i + 1) == Some(&'"') {
+                        masked.push_str(" \"");
+                        i += 2;
+                        mode = Mode::Str;
+                    } else {
+                        masked.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes with `'`
+                    // within a couple of chars (or after an escape).
+                    let is_char_lit = match next {
+                        Some('\\') => true,
+                        Some(n) if n != '\'' => bytes.get(i + 2) == Some(&'\''),
+                        _ => false,
+                    };
+                    if is_char_lit {
+                        mode = Mode::Char;
+                        masked.push('\'');
+                        i += 1;
+                    } else {
+                        masked.push('\'');
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    masked.push('\n');
+                    line += 1;
+                    i += 1;
+                }
+                _ => {
+                    masked.push(c);
+                    i += 1;
+                }
+            },
+            Mode::LineComment => {
+                if c == '\n' {
+                    comments.push((line, std::mem::take(&mut cur_comment)));
+                    masked.push('\n');
+                    line += 1;
+                    mode = Mode::Code;
+                } else {
+                    cur_comment.push(c);
+                    masked.push(' ');
+                }
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    masked.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    masked.push_str("  ");
+                    i += 2;
+                } else {
+                    if c == '\n' {
+                        masked.push('\n');
+                        line += 1;
+                    } else {
+                        masked.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    if next == Some('\n') {
+                        // String-continuation escape: keep the newline so
+                        // line numbers stay aligned.
+                        masked.push_str(" \n");
+                        line += 1;
+                    } else {
+                        masked.push_str("  ");
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    masked.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    if c == '\n' {
+                        masked.push('\n');
+                        line += 1;
+                    } else {
+                        masked.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        masked.push('"');
+                        for _ in 0..hashes {
+                            masked.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                        continue;
+                    }
+                }
+                if c == '\n' {
+                    masked.push('\n');
+                    line += 1;
+                } else {
+                    masked.push(' ');
+                }
+                i += 1;
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    masked.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    masked.push('\'');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if let Mode::LineComment = mode {
+        comments.push((line, std::mem::take(&mut cur_comment)));
+    }
+
+    let masked_lines: Vec<&str> = masked.split('\n').collect();
+    let raw_lines: Vec<&str> = text.split('\n').collect();
+    let (test_lines, gated_mods) = test_scopes(&masked, masked_lines.len());
+    let allows = parse_allows(&comments, &masked_lines);
+
+    let lines = masked_lines
+        .iter()
+        .enumerate()
+        .map(|(idx, code)| LineInfo {
+            number: idx + 1,
+            code: (*code).to_string(),
+            raw: raw_lines.get(idx).copied().unwrap_or("").to_string(),
+            in_test: test_lines[idx],
+        })
+        .collect();
+
+    ScannedFile {
+        lines,
+        allows,
+        gated_mods,
+    }
+}
+
+/// Walk the masked text tracking brace depth, `#[cfg(test)]` / `#[test]`
+/// attributes, and `mod tests { .. }` blocks. Returns a per-line
+/// test-scope flag plus the test-gated `mod name;` declarations.
+fn test_scopes(masked: &str, n_lines: usize) -> (Vec<bool>, Vec<String>) {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut test = vec![false; n_lines.max(1)];
+    let mut gated = Vec::new();
+    let mut line = 0usize; // 0-based
+    let mut depth = 0i32;
+    // Depth (and start line) of each open test scope.
+    let mut scopes: Vec<(i32, usize)> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_mod: Option<String> = None;
+    let mut i = 0usize;
+
+    let mark = |test: &mut Vec<bool>, from: usize, to: usize| {
+        for l in from..=to.min(test.len() - 1) {
+            test[l] = true;
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '#' => {
+                // Attribute? Read to the matching `]`.
+                let mut j = i + 1;
+                while j < chars.len() && chars[j].is_whitespace() {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'[') {
+                    let mut k = j + 1;
+                    let mut brackets = 1;
+                    let mut content = String::new();
+                    while k < chars.len() && brackets > 0 {
+                        match chars[k] {
+                            '[' => brackets += 1,
+                            ']' => brackets -= 1,
+                            '\n' => line += 1,
+                            _ => {}
+                        }
+                        if brackets > 0 {
+                            content.push(chars[k]);
+                        }
+                        k += 1;
+                    }
+                    let compact: String =
+                        content.chars().filter(|c| !c.is_whitespace()).collect();
+                    let is_test_attr = compact == "test"
+                        || (compact.starts_with("cfg(")
+                            && contains_word(&compact, "test")
+                            && !compact.contains("not(test"));
+                    if is_test_attr {
+                        pending_test = true;
+                    }
+                    i = k;
+                } else {
+                    i += 1;
+                }
+            }
+            '{' => {
+                if pending_test {
+                    scopes.push((depth, line));
+                    pending_test = false;
+                }
+                pending_mod = None;
+                depth += 1;
+                i += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if let Some(&(d, start)) = scopes.last() {
+                    if d == depth {
+                        scopes.pop();
+                        mark(&mut test, start, line);
+                    }
+                }
+                i += 1;
+            }
+            ';' => {
+                if pending_test {
+                    if let Some(name) = pending_mod.take() {
+                        gated.push(name);
+                    }
+                    pending_test = false;
+                }
+                pending_mod = None;
+                i += 1;
+            }
+            c if is_ident(c) && !c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && is_ident(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                if word == "mod" {
+                    // Read the module name.
+                    let mut j = i;
+                    while j < chars.len() && chars[j].is_whitespace() && chars[j] != '\n' {
+                        j += 1;
+                    }
+                    let nstart = j;
+                    while j < chars.len() && is_ident(chars[j]) {
+                        j += 1;
+                    }
+                    if j > nstart {
+                        let name: String = chars[nstart..j].iter().collect();
+                        // `mod tests {` is a test scope even without the
+                        // attribute (repo convention).
+                        if name == "tests" {
+                            pending_test = true;
+                        }
+                        pending_mod = Some(name);
+                        i = j;
+                    }
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    // Unterminated scopes (shouldn't happen in valid Rust) cover the rest.
+    for (_, start) in scopes {
+        mark(&mut test, start, n_lines.saturating_sub(1));
+    }
+    (test, gated)
+}
+
+/// `haystack` contains `word` with non-identifier chars on both sides.
+pub fn contains_word(haystack: &str, word: &str) -> bool {
+    find_word(haystack, word).is_some()
+}
+
+/// Byte offset of the first word-boundary occurrence of `word`.
+pub fn find_word(haystack: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !haystack[..at]
+                .chars()
+                .next_back()
+                .map(is_ident)
+                .unwrap_or(false);
+        let after_ok = !haystack[at + word.len()..]
+            .chars()
+            .next()
+            .map(is_ident)
+            .unwrap_or(false);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + word.len();
+    }
+    None
+}
+
+/// Parse `analyzer: allow(rule[, rule]) — justification` escapes out of
+/// the collected line comments. A standalone allow's justification
+/// continues over the following contiguous standalone comment lines, so
+/// wrapped justifications are captured whole.
+fn parse_allows(comments: &[(usize, String)], masked_lines: &[&str]) -> Vec<Allow> {
+    let by_line: std::collections::BTreeMap<usize, &str> = comments
+        .iter()
+        .map(|(l, t)| (*l, t.as_str()))
+        .collect();
+    let standalone = |line: usize| {
+        masked_lines
+            .get(line - 1)
+            .map(|l| l.trim().is_empty())
+            .unwrap_or(false)
+    };
+    let mut allows = Vec::new();
+    for (line, text) in comments {
+        let t = text.trim();
+        let Some(rest) = t.strip_prefix("analyzer:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rules, justification) = match rest.strip_prefix("allow(") {
+            Some(after) => match after.find(')') {
+                Some(close) => {
+                    let rules: Vec<String> = after[..close]
+                        .split(',')
+                        .map(|r| r.trim().to_string())
+                        .filter(|r| !r.is_empty())
+                        .collect();
+                    let tail = after[close + 1..].trim();
+                    let just = tail
+                        .strip_prefix('\u{2014}') // em dash
+                        .or_else(|| tail.strip_prefix("--"))
+                        .or_else(|| tail.strip_prefix('-'))
+                        .unwrap_or("")
+                        .trim()
+                        .to_string();
+                    (rules, just)
+                }
+                None => (Vec::new(), String::new()),
+            },
+            None => (Vec::new(), String::new()),
+        };
+        // Standalone comment line → applies to the next code line;
+        // trailing comment → applies to its own line.
+        let own_code = !standalone(*line);
+        let mut justification = justification;
+        if !own_code {
+            // Absorb the wrapped continuation lines of the comment block.
+            let mut j = *line + 1;
+            while let Some(txt) = by_line.get(&j) {
+                let txt = txt.trim();
+                if !standalone(j) || txt.starts_with("analyzer:") {
+                    break;
+                }
+                if !justification.is_empty() && !txt.is_empty() {
+                    justification.push(' ');
+                }
+                justification.push_str(txt);
+                j += 1;
+            }
+        }
+        let target = if own_code {
+            *line
+        } else {
+            let mut t = line + 1;
+            while t <= masked_lines.len()
+                && masked_lines
+                    .get(t - 1)
+                    .map(|l| l.trim().is_empty())
+                    .unwrap_or(false)
+            {
+                t += 1;
+            }
+            t
+        };
+        allows.push(Allow {
+            rules,
+            justification,
+            target_line: target,
+            comment_line: *line,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let f = scan_source("let x = \"panic!()\"; // HashMap here\nlet y = 1;\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let x"));
+        assert_eq!(f.lines[1].code.trim(), "let y = 1;");
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let f = scan_source("let s = r#\"Instant::now\"#;\nlet c = 'x';\nlet l: &'a str = s;\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[1].code.contains("let c"));
+        assert!(f.lines[2].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn tracks_cfg_test_scopes() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn live2() {}\n";
+        let f = scan_source(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn mod_tests_block_is_test_scope_without_attr() {
+        let f = scan_source("mod tests {\n fn t() {}\n}\nfn live() {}\n");
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[3].in_test);
+    }
+
+    #[test]
+    fn gated_mod_declarations_are_collected() {
+        let f = scan_source("pub mod real;\n#[cfg(test)]\nmod proptests;\n");
+        assert_eq!(f.gated_mods, vec!["proptests".to_string()]);
+    }
+
+    #[test]
+    fn not_test_cfg_is_not_a_test_scope() {
+        let f = scan_source("#[cfg(not(test))]\nfn live() { x.unwrap(); }\n");
+        assert!(!f.lines[1].in_test);
+    }
+
+    #[test]
+    fn allow_trailing_and_standalone() {
+        let src = "a.unwrap(); // analyzer: allow(no-unwrap) — trailing case\n\
+                   // analyzer: allow(no-panic) — standalone case\n\
+                   panic!();\n";
+        let f = scan_source(src);
+        let t = f.allows_for(1, "no-unwrap").expect("trailing allow");
+        assert_eq!(t.justification, "trailing case");
+        let s = f.allows_for(3, "no-panic").expect("standalone allow");
+        assert_eq!(s.justification, "standalone case");
+    }
+
+    #[test]
+    fn allow_without_justification_is_kept_but_empty() {
+        let f = scan_source("x.unwrap(); // analyzer: allow(no-unwrap)\n");
+        let a = f.allows_for(1, "no-unwrap").unwrap();
+        assert!(a.justification.is_empty());
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_word("MyHashMapLike", "HashMap"));
+        assert!(!contains_word("panic_detail(x)", "panic"));
+    }
+}

@@ -1,0 +1,234 @@
+//! End-to-end fixtures for the lint pass: for every rule, a firing and a
+//! non-firing example, plus the escape machinery (test scopes, gated
+//! modules, justified/unjustified allows) and a full ratchet round-trip
+//! through the committed-baseline JSON format.
+
+use analyzer::{analyze_root, Baseline, Config};
+use std::path::PathBuf;
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!(
+            "tdpipe-analyzer-fixture-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("src")).expect("create fixture dir");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("file path has a parent"))
+            .expect("create parent dir");
+        std::fs::write(path, content).expect("write fixture file");
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const FIXTURE_CONFIG: &str = r#"
+[set.determinism]
+paths = ["src"]
+rules = [
+    "no-instant-now",
+    "no-system-time",
+    "no-hash-collections",
+    "f64-sort-total-cmp",
+]
+
+[set.panic-safety]
+paths = ["src/panics.rs"]
+rules = ["no-unwrap", "no-expect", "no-panic", "no-todo", "no-unimplemented"]
+
+[set.accounting]
+paths = ["src/cast.rs"]
+rules = ["lossy-float-cast"]
+"#;
+
+fn rules_fired(fix: &Fixture) -> Vec<(String, String, usize)> {
+    let cfg = Config::parse(FIXTURE_CONFIG).expect("fixture config parses");
+    let analysis = analyze_root(&fix.root, &cfg).expect("analysis runs");
+    analysis
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn every_rule_has_a_firing_and_a_non_firing_fixture() {
+    let fix = Fixture::new("rules");
+    // Determinism rules: firing lines interleaved with innocent ones.
+    fix.write(
+        "src/det.rs",
+        "use std::collections::HashMap;\n\
+         use std::collections::BTreeMap;\n\
+         fn a() -> Instant { Instant::now() }\n\
+         fn a2(i: &Instant) -> f64 { i.elapsed().as_secs_f64() }\n\
+         fn b() -> SystemTime { SystemTime::now() }\n\
+         fn c(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n\
+         fn d(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }\n",
+    );
+    // Panic-safety rules; `src/panics.rs` is also under the determinism
+    // set (whole `src`), which must not duplicate findings.
+    fix.write(
+        "src/panics.rs",
+        "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         fn b(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n\
+         fn c() { panic!(\"boom\") }\n\
+         fn d() { todo!() }\n\
+         fn e() { unimplemented!() }\n\
+         fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n",
+    );
+    // Accounting rule.
+    fix.write(
+        "src/cast.rs",
+        "fn a(x: f64) -> u64 { (x * 0.5).ceil() as u64 }\n\
+         fn b(x: u32) -> u64 { x as u64 }\n",
+    );
+    let fired = rules_fired(&fix);
+    let expect = [
+        ("no-hash-collections", "src/det.rs", 1),
+        ("no-instant-now", "src/det.rs", 3),
+        ("no-system-time", "src/det.rs", 5),
+        ("f64-sort-total-cmp", "src/det.rs", 6),
+        ("no-unwrap", "src/panics.rs", 1),
+        ("no-expect", "src/panics.rs", 2),
+        ("no-panic", "src/panics.rs", 3),
+        ("no-todo", "src/panics.rs", 4),
+        ("no-unimplemented", "src/panics.rs", 5),
+        ("lossy-float-cast", "src/cast.rs", 1),
+    ];
+    for (rule, file, line) in expect {
+        assert!(
+            fired.contains(&(rule.to_string(), file.to_string(), line)),
+            "{rule} should fire at {file}:{line}; got {fired:?}"
+        );
+    }
+    // Exactly the expected findings — the innocent lines stay clean, and
+    // overlapping sets do not double-report.
+    assert_eq!(fired.len(), expect.len(), "unexpected extra findings: {fired:?}");
+}
+
+#[test]
+fn strings_comments_and_test_scopes_do_not_fire() {
+    let fix = Fixture::new("scopes");
+    fix.write(
+        "src/det.rs",
+        "fn a() { let s = \"Instant::now() HashMap\"; }\n\
+         // Instant::now() in a comment, HashMap too.\n\
+         /* block comment: SystemTime */\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             fn t() { let x = Instant::now(); }\n\
+             use std::collections::HashMap;\n\
+         }\n",
+    );
+    // A whole file gated behind `#[cfg(test)] mod helper;` is test-only.
+    fix.write("src/helper.rs", "fn t() { let x = Instant::now(); }\n");
+    fix.write(
+        "src/panics.rs",
+        "#[cfg(test)]\nmod helper;\n\
+         #[test]\n\
+         fn t() { Option::<u32>::None.unwrap(); }\n",
+    );
+    fix.write("src/cast.rs", "fn ok() {}\n");
+    let fired = rules_fired(&fix);
+    assert!(fired.is_empty(), "nothing should fire: {fired:?}");
+}
+
+#[test]
+fn allow_escapes_suppress_only_with_justification() {
+    let fix = Fixture::new("allows");
+    fix.write(
+        "src/det.rs",
+        "fn a() { let t = Instant::now(); } // analyzer: allow(no-instant-now) — fixture: sanctioned wall-clock read\n\
+         // analyzer: allow(no-system-time) — standalone escape, wrapped\n\
+         // justification continues here.\n\
+         fn b() -> SystemTime { SystemTime::now() }\n\
+         fn c() { let x = Instant::now(); } // analyzer: allow(no-instant-now)\n\
+         fn d() { let y = Instant::now(); } // analyzer: allow(no-such-rule) — typo'd rule name\n",
+    );
+    fix.write("src/panics.rs", "fn ok() {}\n");
+    fix.write("src/cast.rs", "fn ok() {}\n");
+    let cfg = Config::parse(FIXTURE_CONFIG).expect("fixture config parses");
+    let analysis = analyze_root(&fix.root, &cfg).expect("analysis runs");
+
+    // Lines 1 and 4: suppressed, with the full (wrapped) justification.
+    assert_eq!(analysis.suppressed.len(), 2, "{:?}", analysis.suppressed);
+    assert!(analysis.suppressed.iter().any(|s| {
+        s.finding.line == 4 && s.justification == "standalone escape, wrapped justification continues here."
+    }), "{:?}", analysis.suppressed);
+
+    // Line 5: allow without justification — the finding stands.
+    assert!(analysis
+        .findings
+        .iter()
+        .any(|f| f.rule == "no-instant-now" && f.line == 5 && f.message.contains("justification")),
+        "{:?}", analysis.findings);
+    // Line 6: unknown rule in the escape — invalid-allow, plus the
+    // un-suppressed original finding.
+    assert!(analysis
+        .findings
+        .iter()
+        .any(|f| f.rule == "invalid-allow" && f.line == 6), "{:?}", analysis.findings);
+    assert!(analysis
+        .findings
+        .iter()
+        .any(|f| f.rule == "no-instant-now" && f.line == 6));
+}
+
+#[test]
+fn ratchet_round_trip_through_committed_json() {
+    let fix = Fixture::new("ratchet");
+    fix.write(
+        "src/det.rs",
+        "fn a() { let t = Instant::now(); }\nuse std::collections::HashMap;\n",
+    );
+    fix.write("src/panics.rs", "fn ok() {}\n");
+    fix.write("src/cast.rs", "fn ok() {}\n");
+    let cfg = Config::parse(FIXTURE_CONFIG).expect("fixture config parses");
+    let analysis = analyze_root(&fix.root, &cfg).expect("analysis runs");
+    assert_eq!(analysis.findings.len(), 2);
+
+    // Record the baseline, write it to disk, load it back: no new findings.
+    let baseline_path = fix.root.join("analyzer.baseline.json");
+    let recorded = Baseline::from_findings(&analysis.findings);
+    std::fs::write(&baseline_path, recorded.to_json()).expect("write baseline");
+    let loaded = Baseline::load(&baseline_path).expect("load baseline");
+    assert_eq!(loaded, recorded);
+    let diff = loaded.diff(&analysis.findings);
+    assert!(diff.new.is_empty(), "{:?}", diff.new);
+    assert!(diff.fixed.is_empty());
+
+    // A new violation in the same file trips the ratchet...
+    fix.write(
+        "src/det.rs",
+        "fn a() { let t = Instant::now(); }\nuse std::collections::HashMap;\n\
+         fn b() { let u = Instant::now(); }\n",
+    );
+    let worse = analyze_root(&fix.root, &cfg).expect("analysis runs");
+    let diff = loaded.diff(&worse.findings);
+    assert_eq!(diff.new.len(), 2, "whole over-budget pair is reported: {:?}", diff.new);
+
+    // ...while fixing one shows up as ratchet-down guidance, not failure.
+    fix.write("src/det.rs", "use std::collections::HashMap;\n");
+    let better = analyze_root(&fix.root, &cfg).expect("analysis runs");
+    let diff = loaded.diff(&better.findings);
+    assert!(diff.new.is_empty());
+    assert_eq!(diff.fixed.len(), 1);
+
+    // A missing baseline file is the empty baseline: everything is new.
+    let missing = Baseline::load(&fix.root.join("nope.json")).expect("missing = empty");
+    assert_eq!(missing.diff(&analysis.findings).new.len(), 2);
+}

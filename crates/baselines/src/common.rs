@@ -40,6 +40,9 @@ impl Lane {
     /// A lane owning `blocks` KV blocks and the given pending requests.
     pub fn new(blocks: u64, block_size: u32, pending: VecDeque<usize>, watermark: f64) -> Self {
         let alloc = BlockAllocator::new(blocks, block_size);
+        // analyzer: allow(lossy-float-cast) — watermark ∈ [0,1] and
+        // blocks ≤ 2^32, so the ceil stays inside u64; rounding up is
+        // the conservative direction for admission.
         let watermark_blocks = (blocks as f64 * watermark).ceil() as u64;
         Lane {
             alloc,

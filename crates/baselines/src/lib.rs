@@ -19,6 +19,8 @@
 //! pipeline simulator as TD-Pipe — the only differences are the scheduling
 //! decisions, exactly like the paper's single-codebase (vLLM) comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod pp_hb;
 pub mod pp_sb;

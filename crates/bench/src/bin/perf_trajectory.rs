@@ -123,6 +123,9 @@ fn main() {
         let mut best = f64::INFINITY;
         let mut makespan = 0.0;
         for _ in 0..reps {
+            // analyzer: allow(no-instant-now) — this binary IS the
+            // wall-time harness: it measures real scheduler runtime and
+            // never feeds a simulated-result report.
             let t0 = Instant::now();
             let r = run_scheduler(*sched, model, node, &trace, &predictor)
                 .expect("canonical cell must be feasible");

@@ -6,6 +6,8 @@
 //! node/model combinations, a scheduler dispatch wrapper, and small
 //! plumbing for emitting results as aligned text and JSON.
 
+#![forbid(unsafe_code)]
+
 use serde::Serialize;
 use std::path::PathBuf;
 use tdpipe_baselines::{PpHbEngine, PpSbEngine, TpHbEngine, TpSbEngine};

@@ -86,6 +86,9 @@ impl PpCost {
         let t_head = kernel.layer_time(&model.lm_head_work(batch_hint as u64));
         let base = model.layers / n;
         // Layers to move off the last stage (≥0, keep at least one there).
+        // analyzer: allow(lossy-float-cast) — both times are positive and
+        // the ratio is a handful of layers; `.min(base-1)` clamps the
+        // result into range, so round-to-nearest is the intent.
         let shift = ((t_head / t_layer).round() as u32).min(base.saturating_sub(1));
         let mut counts = vec![0u32; n as usize];
         let mut remaining = model.layers;

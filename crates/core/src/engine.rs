@@ -202,8 +202,10 @@ impl TdPipeEngine {
         predictor: &P,
         sim: Box<dyn PipelineExecutor>,
     ) -> RunOutcome {
-        self.try_run_on(trace, arrivals, predictor, sim)
-            .unwrap_or_else(|e| panic!("{e}"))
+        // analyzer: allow(no-panic) — the infallible convenience surface:
+        // its documented contract is to panic with the execution-plane
+        // root cause; fallible callers use `try_run_on`.
+        self.try_run_on(trace, arrivals, predictor, sim).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible [`Self::run_on`]: an execution-plane failure (worker
@@ -250,6 +252,9 @@ impl TdPipeEngine {
         // §4.4.1 accounting.
         let mut now = pool.len() as f64 * predictor.per_request_overhead();
         let mut phase_switches: u32 = 0;
+        // analyzer: allow(lossy-float-cast) — watermark ∈ [0,1] and
+        // kv_blocks ≤ 2^32, so the ceil stays well inside u64 and the
+        // round-up direction is the conservative one for admission.
         let watermark_blocks = (self.plan.kv_blocks as f64 * e.watermark).ceil() as u64;
 
         let mut phases: Vec<PhaseRecord> = Vec::new();
@@ -309,6 +314,9 @@ impl TdPipeEngine {
                         if alloc.free_blocks() < needed + watermark_blocks {
                             break;
                         }
+                        // analyzer: allow(no-expect) — guarded two lines
+                        // up: `free_blocks() >= needed + watermark` makes
+                        // this allocation infallible.
                         alloc.allocate(idx as u64, tokens).expect("checked");
                         pending.pop_front();
                         pool.note_swap_in(idx, tokens);
@@ -331,9 +339,10 @@ impl TdPipeEngine {
                     if alloc.free_blocks() < needed + watermark_blocks {
                         break; // memory admission stop
                     }
-                    alloc
-                        .allocate(idx as u64, t as u64)
-                        .expect("admission check guaranteed fit");
+                    // analyzer: allow(no-expect) — guarded above: the
+                    // admission check reserved `needed + watermark`
+                    // free blocks, so this allocation cannot fail.
+                    alloc.allocate(idx as u64, t as u64).expect("admission check guaranteed fit");
                     pending.pop_front();
                     batch.push(idx);
                     seq_lens.push(t);
@@ -342,10 +351,17 @@ impl TdPipeEngine {
                 if batch.is_empty() {
                     // Memory full, head not yet arrived, or a single
                     // request exceeds capacity.
+                    // analyzer: allow(no-expect) — this branch is only
+                    // reachable from the admission loop's `break`s, all
+                    // of which require a non-empty pending queue.
                     let idx = *pending.front().expect("pending nonempty");
                     let head_arrived =
                         pool.get(idx).arrival <= now + launched as f64 * e.engine_overhead;
                     if head_arrived && !admitted_any && residents.is_empty() {
+                        // analyzer: allow(no-panic) — unschedulable input
+                        // (one request larger than the whole KV pool):
+                        // a precondition documented under `# Panics` on
+                        // `run_with_arrivals`, not a runtime failure.
                         panic!(
                             "request {} ({} tokens) exceeds KV capacity ({} tokens)",
                             pool.get(idx).id,
@@ -470,8 +486,10 @@ impl TdPipeEngine {
                 let mut finished_now = 0usize;
                 members.retain(|&idx| {
                     if pool.note_decode_step(idx, now) {
-                        let freed =
-                            alloc.free(idx as u64).expect("finished request resident");
+                        // analyzer: allow(no-expect) — every batch member
+                        // was allocated at admission and eviction removes
+                        // it from `members`, so a finisher is resident.
+                        let freed = alloc.free(idx as u64).expect("finished request resident");
                         ctx -= freed + 1;
                         finished_now += 1;
                         false
@@ -513,6 +531,9 @@ impl TdPipeEngine {
                     }
                     // Evict the newest member (possibly idx itself).
                     let pos = loop {
+                        // analyzer: allow(no-expect) — the heap holds
+                        // every live member and `idx` itself is live, so
+                        // a victim always exists before exhaustion.
                         let (_, p) = evict_heap.pop().expect("live member to evict");
                         if !evicted[p] {
                             break p;
@@ -520,6 +541,8 @@ impl TdPipeEngine {
                     };
                     let victim = members[pos];
                     evicted[pos] = true;
+                    // analyzer: allow(no-expect) — victims come from
+                    // `members`, all of which hold live allocations.
                     alloc.free(victim as u64).expect("victim resident");
                     ctx -= pool.get(victim).resident_tokens();
                     match e.preemption {

@@ -26,6 +26,8 @@
 //! [`request::RequestPool`] lifecycle tracker, and [`plan`]-level memory
 //! capacity math.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod config;
 pub mod control;

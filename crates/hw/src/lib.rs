@@ -17,6 +17,8 @@
 //! * [`DecodeProfile`] — the offline profiling table TD-Pipe's
 //!   spatial-temporal intensity comparison consults at run time.
 
+#![forbid(unsafe_code)]
+
 pub mod gpu;
 pub mod interconnect;
 pub mod kernel;

@@ -17,6 +17,8 @@
 //! shard's pooled view — the caller decides what a block means physically
 //! via `tdpipe_model::KvCacheGeometry`.
 
+#![forbid(unsafe_code)]
+
 pub mod allocator;
 pub mod usage;
 

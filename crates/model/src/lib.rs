@@ -22,6 +22,8 @@
 //! assert!((24.0..27.0).contains(&gib));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod flops;
 pub mod memory;
 pub mod partition;

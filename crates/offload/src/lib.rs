@@ -23,6 +23,8 @@
 //!   reproducing the §2.2.2 contention collapse (see the
 //!   `fig5_offload_contention` bench binary).
 
+#![forbid(unsafe_code)]
+
 pub mod contention;
 pub mod cost;
 pub mod engine;

@@ -18,6 +18,8 @@
 //!   *summed* predictions (paper Fig. 14), the quantity that actually
 //!   bounds Algorithm 1's memory-usage simulation error.
 
+#![forbid(unsafe_code)]
+
 pub mod buckets;
 pub mod classifier;
 pub mod eval;

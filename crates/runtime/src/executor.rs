@@ -95,6 +95,17 @@ impl ThreadedExecutor {
         e
     }
 
+    /// The error for any call arriving after `finish`/`try_finish`
+    /// consumed the cluster — a caller-side sequencing bug, reported as
+    /// a protocol violation instead of a panic so the engine's failure
+    /// path stays structured.
+    fn use_after_finish() -> ExecError {
+        ExecError {
+            kind: ExecErrorKind::ProtocolViolation,
+            message: "executor used after finish: the cluster is already shut down".to_string(),
+        }
+    }
+
     fn feed_timeline(logs: &[WorkerLog], timeline: &mut Timeline) {
         for (rank, log) in logs.iter().enumerate() {
             match log {
@@ -119,17 +130,18 @@ impl PipelineExecutor for ThreadedExecutor {
             self.outstanding += 1;
             return;
         }
-        let result = self
-            .cluster
-            .as_mut()
-            .expect("executor not finished")
-            .launch(JobSpec {
-                id: tag,
-                ready,
-                exec: exec.to_vec(),
-                xfer: xfer.to_vec(),
-                kind,
-            });
+        let Some(cluster) = self.cluster.as_mut() else {
+            self.error = Some(Self::use_after_finish());
+            self.outstanding += 1;
+            return;
+        };
+        let result = cluster.launch(JobSpec {
+            id: tag,
+            ready,
+            exec: exec.to_vec(),
+            xfer: xfer.to_vec(),
+            kind,
+        });
         if let Err(e) = result {
             self.error = Some(e.into());
         } else {
@@ -139,8 +151,10 @@ impl PipelineExecutor for ThreadedExecutor {
     }
 
     fn next_completion(&mut self) -> (u64, f64) {
-        self.try_next_completion()
-            .unwrap_or_else(|e| panic!("{e}"))
+        // analyzer: allow(no-panic) — the trait's infallible surface: its
+        // documented contract is to panic with the root cause; fallible
+        // callers use `try_next_completion`.
+        self.try_next_completion().unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn try_next_completion(&mut self) -> Result<(u64, f64), ExecError> {
@@ -149,19 +163,19 @@ impl PipelineExecutor for ThreadedExecutor {
             return Err(e.clone());
         }
         let timeout = self.completion_timeout;
-        let done = match self
-            .cluster
-            .as_mut()
-            .expect("executor not finished")
-            .next_completion(timeout)
-        {
+        let Some(cluster) = self.cluster.as_mut() else {
+            return Err(self.fail(Self::use_after_finish()));
+        };
+        let done = match cluster.next_completion(timeout) {
             Ok(done) => done,
             Err(e) => return Err(self.fail(e.into())),
         };
-        let expect = self
-            .expected
-            .pop_front()
-            .expect("outstanding implies an expected tag");
+        let Some(expect) = self.expected.pop_front() else {
+            return Err(self.fail(ExecError {
+                kind: ExecErrorKind::ProtocolViolation,
+                message: "outstanding count and expected-tag queue diverged".to_string(),
+            }));
+        };
         if done.id != expect {
             return Err(self.fail(ExecError {
                 kind: ExecErrorKind::ProtocolViolation,
@@ -182,6 +196,9 @@ impl PipelineExecutor for ThreadedExecutor {
     }
 
     fn finish(self: Box<Self>) -> (f64, Timeline) {
+        // analyzer: allow(no-panic) — the trait's infallible surface: its
+        // documented contract is to panic with the root cause; fallible
+        // callers use `try_finish`.
         self.try_finish().unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -197,7 +214,9 @@ impl PipelineExecutor for ThreadedExecutor {
                 return Err(e);
             }
         }
-        let cluster = self.cluster.take().expect("executor not finished");
+        let Some(cluster) = self.cluster.take() else {
+            return Err(Self::use_after_finish());
+        };
         let logs = cluster.shutdown(deadline).map_err(ExecError::from)?;
         let mut timeline = Timeline::new(self.record_timeline);
         Self::feed_timeline(&logs, &mut timeline);

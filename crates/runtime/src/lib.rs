@@ -40,6 +40,8 @@
 //! so every failure path is testable; [`FaultPlan::none`] is guaranteed
 //! to leave behaviour bit-identical to the simulator.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod comm;
 pub mod error;

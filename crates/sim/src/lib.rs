@@ -18,6 +18,8 @@
 //! Everything is `f64`-seconds based and fully deterministic: no wall
 //! clocks, no threads, no randomness.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod gantt;
 pub mod pipeline;

@@ -18,6 +18,8 @@
 //! Everything is deterministic given a seed, which the simulator and the
 //! benchmark harness rely on for reproducibility.
 
+#![forbid(unsafe_code)]
+
 pub mod arrival;
 pub mod conversation;
 pub mod generator;

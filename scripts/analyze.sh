@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run the in-repo invariant lint pass (crates/analyzer) against the
+# committed ratchet baseline.
+#
+#   scripts/analyze.sh                    # human-readable, fails on new findings
+#   scripts/analyze.sh --json             # machine-readable report
+#   scripts/analyze.sh --update-baseline  # re-record analyzer.baseline.json
+#
+# Extra arguments are passed through to the analyzer binary
+# (see `cargo run -p analyzer -- --help`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run --quiet --release -p analyzer -- --root . "$@"

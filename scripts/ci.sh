@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # The one-command gate: everything a change must pass before merging.
 #
-#   1. release build of the whole workspace
-#   2. full test suite (unit + integration, all crates)
-#   3. bit-identical smoke diff against the committed Fig. 11 snapshot
+#   1. invariant lint pass (crates/analyzer vs the committed baseline)
+#   2. release build of the whole workspace
+#   3. full test suite (unit + integration, all crates — includes the
+#      bounded protocol model checker)
+#   4. bit-identical smoke diff against the committed Fig. 11 snapshot
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 step() { printf '\n\033[1m== %s ==\033[0m\n' "$1"; }
+
+step "analyze (invariant lint pass)"
+scripts/analyze.sh
 
 step "build (release)"
 cargo build --release

@@ -10,7 +10,7 @@
 //! Argument parsing is hand-rolled (the workspace deliberately sticks to
 //! its small dependency set).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use tdpipe::baselines::{PpHbEngine, PpSbEngine, TpHbEngine, TpSbEngine};
 use tdpipe::core::config::EngineConfig;
@@ -37,11 +37,11 @@ Defaults: --model 13b --node l20 --gpus 4 --scheduler td --requests 1000
           --seed 42 --predictor oracle
 ";
 
-struct Args(HashMap<String, String>);
+struct Args(BTreeMap<String, String>);
 
 impl Args {
     fn parse(argv: &[String]) -> Result<Self, String> {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {

@@ -18,6 +18,8 @@
 //! * [`baselines`] — TP+SB, TP+HB, PP+SB, PP+HB reference schedulers
 //! * [`offload`] — KV-offloading engine + PCIe contention model (§2.2.2)
 
+#![forbid(unsafe_code)]
+
 pub use tdpipe_baselines as baselines;
 pub use tdpipe_core as core;
 pub use tdpipe_hw as hw;

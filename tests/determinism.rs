@@ -136,3 +136,45 @@ fn predictor_quality_degrades_gracefully_not_catastrophically() {
         good.report.recompute_overhead()
     );
 }
+
+#[test]
+fn determinism_rule_set_covers_every_report_feeding_crate() {
+    // Every crate whose output can reach a report or a committed snapshot
+    // must sit under the analyzer's determinism rule set, so wall-clock
+    // reads and iteration-order hazards cannot creep back in. The only
+    // crates allowed outside it must be named here, with a reason.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = analyzer::Config::load(&root.join("analyzer.toml"))
+        .expect("analyzer.toml parses");
+    let covered: Vec<&str> = cfg.paths_with_rule("no-instant-now");
+    assert!(
+        covered.contains(&"src"),
+        "the root tdpipe crate must be under the determinism set"
+    );
+
+    // Exempt: `runtime` really runs threads and timeouts (wall-clock use
+    // is its job; its safety rules live in the panic-safety set), and
+    // `analyzer` is the lint tool itself, not part of the simulation.
+    let exempt = ["runtime", "analyzer"];
+
+    let mut missing = Vec::new();
+    let mut entries: Vec<String> = std::fs::read_dir(root.join("crates"))
+        .expect("crates/ exists")
+        .map(|e| e.expect("read crates/ entry").file_name().into_string().expect("utf-8 crate name"))
+        .collect();
+    entries.sort();
+    for name in &entries {
+        if exempt.contains(&name.as_str()) {
+            continue;
+        }
+        let src = format!("crates/{name}/src");
+        if !covered.contains(&src.as_str()) {
+            missing.push(src);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "crates outside the determinism rule set (add them to analyzer.toml \
+         or to the exempt list above with a rationale): {missing:?}"
+    );
+}
