@@ -8,12 +8,14 @@
 //! prefill's aggressive-but-safe admission.
 
 use tdpipe_bench::{num_requests, paper_trace, run_tdpipe, save_text};
+use tdpipe_core::config::EngineConfig;
 use tdpipe_core::TdPipeConfig;
 use tdpipe_hw::NodeSpec;
 use tdpipe_kvcache::Phase;
 use tdpipe_model::ModelSpec;
 use tdpipe_predictor::classifier::TrainConfig;
 use tdpipe_predictor::LengthPredictor;
+use tdpipe_trace::decision_table;
 use tdpipe_workload::ShareGptLikeConfig;
 
 fn main() {
@@ -21,11 +23,20 @@ fn main() {
     let hist = ShareGptLikeConfig::small(30_000, 7).generate();
     let predictor = LengthPredictor::train(&hist.split(7).train, &TrainConfig::default());
 
-    // The paper's Fig. 12 plots one representative configuration.
+    // The paper's Fig. 12 plots one representative configuration. The
+    // flight recorder rides along (a pure observer — the schedule is
+    // unchanged) so the occupancy bands come with the per-phase decision
+    // table that explains them.
     let model = ModelSpec::qwen2_5_32b();
     let node = NodeSpec::l20(4);
-    let out = run_tdpipe(&model, &node, &trace, &predictor, TdPipeConfig::default())
-        .expect("32B fits 4xL20");
+    let cfg = TdPipeConfig {
+        engine: EngineConfig {
+            record_trace: true,
+            ..EngineConfig::default()
+        },
+        ..TdPipeConfig::default()
+    };
+    let out = run_tdpipe(&model, &node, &trace, &predictor, cfg).expect("32B fits 4xL20");
 
     println!(
         "Figure 12 — KV occupancy, TD-Pipe, L20x4 + Qwen2.5-32B, {} requests",
@@ -60,8 +71,10 @@ fn main() {
         println!("  ... ({} more phases)", shown - 24);
     }
 
-    // Occupancy-over-time CSV (plottable as the paper's figure).
+    // Occupancy-over-time CSV (plottable as the paper's figure) and the
+    // scheduling decisions behind each band.
     save_text("fig12_kv_usage.csv", &out.occupancy.to_csv());
+    save_text("fig12_decision_table.txt", &decision_table(&out.journal));
 
     // Sanity characterisation mirrored in EXPERIMENTS.md: decode bands
     // reach near-full occupancy then decline.

@@ -61,6 +61,18 @@ pub struct EngineConfig {
     /// Whether the pipeline simulator records per-segment timelines
     /// (needed for utilization-in-window and Gantt exports; costs memory).
     pub record_timeline: bool,
+    /// Whether the engine samples the KV-occupancy trace (Fig. 12's data:
+    /// one sample per prefill-batch completion and per decode-batch
+    /// return). On by default to preserve figure artifacts; turn off for
+    /// multi-million-request runs where the unbounded sample log is the
+    /// largest allocation in the engine.
+    pub record_occupancy: bool,
+    /// Whether the scheduling flight recorder keeps a structured decision
+    /// journal (`tdpipe-trace`). Off by default: a disabled recorder is a
+    /// single-branch no-op, so default runs stay bit-identical. Enable
+    /// together with [`EngineConfig::record_timeline`] to get device
+    /// tracks in the Chrome-trace export.
+    pub record_trace: bool,
     /// Overflow strategy during decode.
     pub preemption: PreemptionMode,
     /// Effective host-link bandwidth for KV swapping, bytes/s (only used
@@ -84,6 +96,8 @@ impl Default for EngineConfig {
             hybrid_overlap: 0.55,
             watermark: 0.01,
             record_timeline: false,
+            record_occupancy: true,
+            record_trace: false,
             preemption: PreemptionMode::Recompute,
             host_link_bw: 20.0e9,
         }

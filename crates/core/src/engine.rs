@@ -37,6 +37,7 @@ use tdpipe_kvcache::{BlockAllocator, OccupancyTrace, Phase};
 use tdpipe_model::ModelSpec;
 use tdpipe_predictor::OutputLenPredictor;
 use tdpipe_sim::{RunReport, SegmentKind, Timeline};
+use tdpipe_trace::{AdmitReason, EvictMode, FlightRecorder, PrefillStopReason, TraceEvent};
 use tdpipe_workload::Trace;
 
 /// A model/node combination whose weights do not fit the devices.
@@ -76,10 +77,13 @@ pub struct RunOutcome {
     pub report: RunReport,
     /// Per-device activity log (empty unless `record_timeline`).
     pub timeline: Timeline,
-    /// KV occupancy over time (paper Fig. 12).
+    /// KV occupancy over time (paper Fig. 12; empty unless
+    /// `record_occupancy`, which defaults on).
     pub occupancy: OccupancyTrace,
     /// Chronological phase log.
     pub phases: Vec<PhaseRecord>,
+    /// Scheduling decision journal (disabled unless `record_trace`).
+    pub journal: FlightRecorder,
 }
 
 /// The TD-Pipe inference engine for one `(model, node)` configuration.
@@ -237,6 +241,14 @@ impl TdPipeEngine {
         let mut alloc = BlockAllocator::new(self.plan.kv_blocks, self.plan.block_size);
         alloc.reserve_ids(pool.len());
         let mut occupancy = OccupancyTrace::new();
+        // The flight recorder (ISSUE 4): disabled is a single-branch no-op
+        // per `record` call, so default runs stay bit-identical. Sized for
+        // one admit + stop per request plus slack for phase machinery.
+        let mut journal = if e.record_trace {
+            FlightRecorder::with_capacity(pool.len() * 4 + 64)
+        } else {
+            FlightRecorder::disabled()
+        };
         let comparator = IntensityComparator::new(self.build_profile(trace));
         let mut planner =
             GreedyPrefillPlanner::new(self.cfg.future_points(), self.plan.token_capacity());
@@ -293,16 +305,27 @@ impl TdPipeEngine {
                     P2dPolicy::FixedOccupancy(r) => alloc.occupancy() >= r,
                 };
                 if stop && admitted_any {
+                    journal.record(
+                        now,
+                        TraceEvent::PrefillStop {
+                            reason: PrefillStopReason::Overflow,
+                            admitted,
+                        },
+                    );
                     break;
                 }
                 // Pack the next prefill batch up to the token budget.
                 batch.clear();
                 seq_lens.clear();
                 let mut batch_tokens: u32 = 0;
+                // Why the packing loop below halted (journal; the loop
+                // running the queue dry leaves the default).
+                let mut pack_stop = PrefillStopReason::Exhausted;
                 while let Some(&idx) = pending.front() {
                     // Online extension: a request can only be prefilled
                     // after it has arrived.
                     if pool.get(idx).arrival > now + launched as f64 * e.engine_overhead {
+                        pack_stop = PrefillStopReason::Arrival;
                         break;
                     }
                     // Swap-preempted requests re-enter via a host-link
@@ -312,6 +335,7 @@ impl TdPipeEngine {
                         let needed =
                             tokens.div_ceil(self.plan.block_size as u64);
                         if alloc.free_blocks() < needed + watermark_blocks {
+                            pack_stop = PrefillStopReason::Memory;
                             break;
                         }
                         // analyzer: allow(no-expect) — guarded two lines
@@ -329,14 +353,24 @@ impl TdPipeEngine {
                         planner.add_request(pool.get(idx));
                         admitted_any = true;
                         admitted += 1;
+                        journal.record(
+                            now,
+                            TraceEvent::PrefillAdmit {
+                                request: pool.get(idx).id.0,
+                                tokens,
+                                reason: AdmitReason::SwapIn,
+                            },
+                        );
                         continue;
                     }
                     let t = pool.get(idx).prefill_tokens();
                     if !batch.is_empty() && batch_tokens + t > e.prefill_token_budget {
+                        pack_stop = PrefillStopReason::Budget;
                         break;
                     }
                     let needed = (t as u64).div_ceil(self.plan.block_size as u64);
                     if alloc.free_blocks() < needed + watermark_blocks {
+                        pack_stop = PrefillStopReason::Memory;
                         break; // memory admission stop
                     }
                     // analyzer: allow(no-expect) — guarded above: the
@@ -369,6 +403,15 @@ impl TdPipeEngine {
                             self.plan.token_capacity()
                         );
                     }
+                    // pack_stop is Arrival or Memory here: an empty batch
+                    // means the packer broke on its very first candidate.
+                    journal.record(
+                        now,
+                        TraceEvent::PrefillStop {
+                            reason: pack_stop,
+                            admitted,
+                        },
+                    );
                     break 'prefill;
                 }
                 admitted_any = true;
@@ -393,7 +436,30 @@ impl TdPipeEngine {
                     next_seq += 1;
                     residents.push(idx);
                     admitted += 1;
+                    if journal.is_enabled() {
+                        let s = pool.get(idx);
+                        let reason = if s.evictions > 0 {
+                            AdmitReason::Recompute
+                        } else {
+                            AdmitReason::FirstPrefill
+                        };
+                        journal.record(
+                            now,
+                            TraceEvent::PrefillAdmit {
+                                request: s.id.0,
+                                tokens: t as u64,
+                                reason,
+                            },
+                        );
+                    }
                 }
+                journal.record(
+                    now,
+                    TraceEvent::PrefillStop {
+                        reason: pack_stop,
+                        admitted,
+                    },
+                );
             }
             // Collect this phase's prefill completions: first-token stamps
             // and Fig. 12 occupancy samples.
@@ -404,7 +470,9 @@ impl TdPipeEngine {
                 for &idx in &prefill_members[start..end] {
                     pool.note_first_token(idx, finish);
                 }
-                occupancy.push(finish, occ, Phase::Prefill);
+                if e.record_occupancy {
+                    occupancy.push(finish, occ, Phase::Prefill);
+                }
                 prefill_exec_end = prefill_exec_end.max(finish);
             }
             now += launched as f64 * e.engine_overhead;
@@ -440,6 +508,15 @@ impl TdPipeEngine {
                 phase_switches -= 1;
                 continue;
             }
+            // Journalled after the empty-residents check so the idle
+            // fast-forward path above produces no spurious switch events.
+            journal.record(
+                prefill_exec_end,
+                TraceEvent::PhaseSwitch {
+                    from: Phase::Prefill,
+                    to: Phase::Decode,
+                },
+            );
             // Partition in admission order (§3.4: equal batches, one per GPU).
             residents.sort_by_key(|&i| admission_seq[i]);
             let mut batches = partition_even(&residents, n_stages);
@@ -545,8 +622,11 @@ impl TdPipeEngine {
                     // `members`, all of which hold live allocations.
                     alloc.free(victim as u64).expect("victim resident");
                     ctx -= pool.get(victim).resident_tokens();
-                    match e.preemption {
-                        PreemptionMode::Recompute => pool.note_eviction(victim),
+                    let mode = match e.preemption {
+                        PreemptionMode::Recompute => {
+                            pool.note_eviction(victim);
+                            EvictMode::Recompute
+                        }
                         PreemptionMode::Swap => {
                             // The victim's KV streams to host memory; the
                             // batch cannot relaunch until its share of the
@@ -555,8 +635,16 @@ impl TdPipeEngine {
                                 * self.cost.model().kv_bytes_per_token() as f64
                                 / e.host_link_bw;
                             pool.note_swap_out(victim);
+                            EvictMode::Swap
                         }
-                    }
+                    };
+                    journal.record(
+                        now,
+                        TraceEvent::Evict {
+                            mode,
+                            victim: pool.get(victim).id.0,
+                        },
+                    );
                     pending.push_front(victim);
                     // `idx` may have been the victim; the `evicted` check at
                     // the loop head re-routes, otherwise retry this slot.
@@ -574,11 +662,31 @@ impl TdPipeEngine {
                 now += swap_out_delay;
                 // 3) Rebalance.
                 if let Some(st) = stealer.as_mut() {
-                    st.rebalance(&mut members, finished_now, &mut ctx, |m| {
+                    let moved = st.rebalance(&mut members, finished_now, &mut ctx, |m| {
                         pool.get(m).resident_tokens()
                     });
+                    if moved.withheld > 0 {
+                        journal.record(
+                            now,
+                            TraceEvent::StealWithhold {
+                                n: moved.withheld,
+                                target: moved.target,
+                            },
+                        );
+                    }
+                    if moved.supplemented > 0 {
+                        journal.record(
+                            now,
+                            TraceEvent::StealSupplement {
+                                n: moved.supplemented,
+                                target: moved.target,
+                            },
+                        );
+                    }
                 }
-                occupancy.push(now, alloc.occupancy(), Phase::Decode);
+                if e.record_occupancy {
+                    occupancy.push(now, alloc.occupancy(), Phase::Decode);
+                }
                 // 4) Decode→prefill decision.
                 if !switching && !pending.is_empty() {
                     switching = match self.cfg.d2p {
@@ -599,7 +707,19 @@ impl TdPipeEngine {
                                 &alloc,
                                 &mut est_scratch,
                             );
-                            comparator.should_switch(mean_batch, &est, step)
+                            let scores = comparator.decide(mean_batch, &est, step);
+                            journal.record(
+                                now,
+                                TraceEvent::SwitchDecision {
+                                    spatial: scores.spatial,
+                                    temporal: scores.temporal,
+                                    batch: mean_batch,
+                                    est_longest: est.longest_job,
+                                    est_phase_len: est.phase_len,
+                                    switch: scores.switch,
+                                },
+                            );
+                            scores.switch
                         }
                         D2pPolicy::FixedFinishRatio(r) => {
                             finished_this_phase as f64 >= r * phase_start_count as f64
@@ -646,6 +766,13 @@ impl TdPipeEngine {
             });
             if !pool.all_finished() {
                 phase_switches += 1; // decode → prefill
+                journal.record(
+                    now,
+                    TraceEvent::PhaseSwitch {
+                        from: Phase::Decode,
+                        to: Phase::Prefill,
+                    },
+                );
                 assert!(
                     !pending.is_empty() || !residents.is_empty(),
                     "stuck: unfinished requests but nothing runnable"
@@ -655,6 +782,9 @@ impl TdPipeEngine {
 
         pool.assert_conserved();
         let (makespan, timeline) = sim.try_finish()?;
+        // Device tracks for the Chrome export (only materialise when the
+        // executor kept segments, i.e. `record_timeline` was on too).
+        journal.append_stage_events(&timeline);
         let report = RunReport {
             scheduler: "TD-Pipe".into(),
             makespan,
@@ -672,6 +802,7 @@ impl TdPipeEngine {
             timeline,
             occupancy,
             phases,
+            journal,
         })
     }
 

@@ -25,6 +25,19 @@ pub struct PrefillPhaseEstimate {
     pub phase_len: f64,
 }
 
+/// One evaluated spatial-vs-temporal comparison — what
+/// [`IntensityComparator::decide`] returns so the flight recorder can
+/// journal the decision with the numbers that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchScores {
+    /// Eq. 1 spatial intensity at the observed batch size.
+    pub spatial: f64,
+    /// Eq. 2 temporal intensity for switching now.
+    pub temporal: f64,
+    /// The verdict: `spatial < temporal`.
+    pub switch: bool,
+}
+
 /// The decode→prefill decision rule.
 #[derive(Debug, Clone)]
 pub struct IntensityComparator {
@@ -64,7 +77,24 @@ impl IntensityComparator {
         estimate: &PrefillPhaseEstimate,
         current_decode_step: f64,
     ) -> bool {
-        self.spatial(batch) < self.temporal(estimate, current_decode_step)
+        self.decide(batch, estimate, current_decode_step).switch
+    }
+
+    /// [`IntensityComparator::should_switch`] plus the two intensities it
+    /// compared — identical math, exposed for the flight recorder.
+    pub fn decide(
+        &self,
+        batch: usize,
+        estimate: &PrefillPhaseEstimate,
+        current_decode_step: f64,
+    ) -> SwitchScores {
+        let spatial = self.spatial(batch);
+        let temporal = self.temporal(estimate, current_decode_step);
+        SwitchScores {
+            spatial,
+            temporal,
+            switch: spatial < temporal,
+        }
     }
 }
 

@@ -327,6 +327,37 @@ mod tests {
         assert!(r.is_err());
     }
 
+    /// Pins the `LatencySummary` semantics documented in
+    /// `tdpipe-sim::report`: times are measured from each request's
+    /// *arrival*, not from t = 0.
+    #[test]
+    fn latency_summary_is_arrival_relative() {
+        let t = ShareGptLikeConfig::small(2, 1).generate();
+        let arrivals = [0.0, 10.0];
+        let mut p = RequestPool::with_arrivals(t.requests(), &arrivals, |r| r.output_len);
+        for idx in 0..2 {
+            p.note_prefill(idx, p.get(idx).input_len);
+            // First token exactly 1s after arrival, one token per second
+            // after that.
+            p.note_first_token(idx, arrivals[idx] + 1.0);
+            for step in 0..p.get(idx).output_len {
+                p.note_decode_step(idx, arrivals[idx] + 1.0 + (step + 1) as f64);
+            }
+        }
+        let s = p.latency_summary().expect("all finished");
+        // Both requests saw TTFT 1.0 relative to arrival, even though the
+        // second's first token appeared at t = 11 absolute. A t=0-relative
+        // summary would report a mean of (1 + 11) / 2 = 6.
+        assert!((s.ttft_mean - 1.0).abs() < 1e-12, "ttft {}", s.ttft_mean);
+        assert!((s.ttft_p99 - 1.0).abs() < 1e-12);
+        // finished_at lands at arrival + 1 + output_len.
+        let mean_expect = (0..2)
+            .map(|i| 1.0 + p.get(i).output_len as f64)
+            .sum::<f64>()
+            / 2.0;
+        assert!((s.completion_mean - mean_expect).abs() < 1e-9);
+    }
+
     #[test]
     fn predicted_remaining_saturates() {
         let mut p = pool(1);

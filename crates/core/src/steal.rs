@@ -17,6 +17,18 @@
 
 use std::collections::VecDeque;
 
+/// What one [`WorkStealer::rebalance`] call did — the numbers the flight
+/// recorder journals as `StealWithhold`/`StealSupplement` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RebalanceOutcome {
+    /// The sliding-window target the batch was balanced toward.
+    pub target: usize,
+    /// Requests moved from the batch into the withheld pool.
+    pub withheld: usize,
+    /// Requests moved from the withheld pool into the batch.
+    pub supplemented: usize,
+}
+
 /// The sliding-window work stealer.
 ///
 /// ```
@@ -63,13 +75,16 @@ impl WorkStealer {
     /// members subtract their resident tokens, supplements add theirs.
     /// This is what lets the engine maintain `total_ctx` incrementally
     /// instead of rescanning the batch every decode step.
+    ///
+    /// Returns what moved (for the flight recorder); callers that only
+    /// want the side effect ignore it.
     pub fn rebalance(
         &mut self,
         members: &mut Vec<usize>,
         finished_now: usize,
         ctx: &mut u64,
         resident: impl Fn(usize) -> u64,
-    ) {
+    ) -> RebalanceOutcome {
         // The withheld pool is live work too — counting it in the target is
         // what drains the pool back into light batches instead of letting
         // stolen requests linger.
@@ -77,11 +92,16 @@ impl WorkStealer {
         // Floor the target at 1: stealing a live batch to zero would retire
         // it from the pipeline entirely, which is never a balance win.
         let target = (sum.saturating_sub(finished_now) / self.window.len()).max(1);
+        let mut outcome = RebalanceOutcome {
+            target,
+            ..RebalanceOutcome::default()
+        };
         if members.len() > target {
             for &m in &members[target..] {
                 *ctx -= resident(m);
             }
             let excess = members.split_off(target);
+            outcome.withheld = excess.len();
             self.withheld.extend(excess);
         } else if members.len() < target && !self.withheld.is_empty() {
             let need = (target - members.len()).min(self.withheld.len());
@@ -90,9 +110,11 @@ impl WorkStealer {
                 *ctx += resident(m);
             }
             members.extend(self.withheld.drain(from..));
+            outcome.supplemented = need;
         }
         self.window.pop_front();
         self.window.push_back(members.len());
+        outcome
     }
 
     /// Requests currently withheld (waiting to supplement a light batch).
@@ -248,6 +270,24 @@ mod tests {
         // observable target must agree instead of reporting 0.
         let s = WorkStealer::new(&[0, 0, 0]);
         assert_eq!(s.current_target(), 1);
+    }
+
+    #[test]
+    fn rebalance_outcome_reports_the_moves() {
+        let mut s = WorkStealer::new(&[128, 128]);
+        // Over-target return: the excess shows up as `withheld`.
+        let mut heavy: Vec<usize> = (0..128).collect();
+        let o = s.rebalance(&mut heavy, 60, &mut 0, |_| 0);
+        assert_eq!(o.withheld, 128 - o.target);
+        assert_eq!(o.supplemented, 0);
+        assert_eq!(o.withheld, s.withheld().len());
+        // Under-target return: the top-up shows up as `supplemented`.
+        let mut light: Vec<usize> = (200..204).collect();
+        let before = light.len();
+        let o2 = s.rebalance(&mut light, 0, &mut 0, |_| 0);
+        assert_eq!(o2.withheld, 0);
+        assert_eq!(o2.supplemented, light.len() - before);
+        assert!(o2.supplemented > 0, "pool had stock to hand out");
     }
 
     #[test]

@@ -45,6 +45,24 @@ impl OccupancyTrace {
         Self::default()
     }
 
+    /// An empty trace pre-sized for `cap` samples (engines that sample
+    /// per decode step know the scale up front).
+    pub fn with_capacity(cap: usize) -> Self {
+        OccupancyTrace {
+            samples: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample was recorded (e.g. recording gated off).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
     /// Append a sample (times should be non-decreasing; enforced in debug).
     pub fn push(&mut self, time: f64, occupancy: f64, phase: Phase) {
         debug_assert!(
@@ -129,5 +147,16 @@ mod tests {
         let t = OccupancyTrace::new();
         assert_eq!(t.peak(), 0.0);
         assert_eq!(t.phase_runs(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut t = OccupancyTrace::with_capacity(8);
+        assert!(t.is_empty());
+        t.push(0.0, 0.5, Phase::Prefill);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
     }
 }

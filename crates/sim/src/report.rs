@@ -8,13 +8,18 @@ use serde::{Deserialize, Serialize};
 /// constraints" (§1): temporal disaggregation trades time-to-first-token
 /// for throughput, because admitted prompts then wait out a whole decode
 /// phase. These numbers make that trade visible.
+///
+/// All times are measured **from each request's arrival**, not from t=0
+/// (the convention of every serving benchmark; for the paper's offline
+/// traces every arrival is 0, so the two coincide there).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
-    /// Mean time from t=0 to a request's first generated token (seconds).
+    /// Mean time from a request's arrival to its first generated token
+    /// (seconds).
     pub ttft_mean: f64,
     /// 99th percentile of time to first token.
     pub ttft_p99: f64,
-    /// Mean time from t=0 to request completion.
+    /// Mean time from a request's arrival to its completion.
     pub completion_mean: f64,
     /// Median completion time.
     pub completion_p50: f64,

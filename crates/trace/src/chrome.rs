@@ -1,0 +1,268 @@
+//! `chrome://tracing` / Perfetto JSON export of a run.
+//!
+//! Layout: everything lives in pid 0. Track (tid) 0 is the **engine** —
+//! each journal decision becomes an instant (`ph:"i"`) event. Track
+//! `device + 1` is one GPU — each [`Timeline`] segment becomes a complete
+//! (`ph:"X"`) event whose duration is the segment's busy interval.
+//! Virtual seconds map to trace microseconds (the format's native unit).
+
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+use tdpipe_sim::Timeline;
+
+use crate::event::{FlightRecorder, TimedEvent, TraceEvent};
+
+/// Seconds → Chrome-trace microseconds.
+const SECS_TO_US: f64 = 1e6;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn thread_name(tid: u64, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::Str("thread_name".into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::UInt(0)),
+        ("tid", Value::UInt(tid)),
+        ("args", obj(vec![("name", Value::Str(name.into()))])),
+    ])
+}
+
+/// The serde encoding of a struct variant is `{"VariantName": {fields}}`;
+/// the Chrome `args` object wants just the fields.
+fn event_args(event: &TraceEvent) -> Value {
+    match event.to_value() {
+        Value::Map(mut entries) if entries.len() == 1 => entries.remove(0).1,
+        other => other,
+    }
+}
+
+fn instant(e: &TimedEvent) -> Value {
+    obj(vec![
+        ("name", Value::Str(e.event.label().into())),
+        ("ph", Value::Str("i".into())),
+        ("s", Value::Str("t".into())),
+        ("pid", Value::UInt(0)),
+        ("tid", Value::UInt(0)),
+        ("ts", Value::Float(e.t * SECS_TO_US)),
+        ("args", event_args(&e.event)),
+    ])
+}
+
+/// Export a run as Chrome-trace JSON.
+///
+/// Deterministic: the output is a pure function of the timeline and the
+/// journal (insertion-ordered maps, stable per-track sorting via
+/// `total_cmp`), so identical runs export byte-identical traces.
+pub fn chrome_trace(timeline: &Timeline, journal: &FlightRecorder) -> String {
+    let segs = timeline.segments();
+    let mut events: Vec<Value> =
+        Vec::with_capacity(segs.len() + journal.events().len() + timeline.num_devices() + 1);
+
+    events.push(thread_name(0, "engine"));
+    for d in 0..timeline.num_devices() as u64 {
+        events.push(thread_name(d + 1, &format!("gpu{d}")));
+    }
+
+    // Engine track: journal order is already time order.
+    for e in journal.events() {
+        events.push(instant(e));
+    }
+
+    // Device tracks: one complete event per segment, sorted per device by
+    // start time (stable, total order — NaN-free by Timeline's contract).
+    let mut by_device: Vec<usize> = (0..segs.len()).collect();
+    by_device.sort_by(|&a, &b| {
+        segs[a]
+            .device
+            .cmp(&segs[b].device)
+            .then(segs[a].start.total_cmp(&segs[b].start))
+    });
+    for &i in &by_device {
+        let s = &segs[i];
+        events.push(obj(vec![
+            ("name", Value::Str(s.kind.label().into())),
+            ("ph", Value::Str("X".into())),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(s.device as u64 + 1)),
+            ("ts", Value::Float(s.start * SECS_TO_US)),
+            ("dur", Value::Float((s.end - s.start) * SECS_TO_US)),
+            ("args", obj(vec![("tag", Value::UInt(s.tag))])),
+        ]));
+    }
+
+    let doc = obj(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_else(|_| String::from("{}"))
+}
+
+/// What [`validate_chrome_trace`] measured about a trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ChromeTraceCheck {
+    /// Total events in `traceEvents` (including metadata).
+    pub events: usize,
+    /// Distinct tracks (tids) that carried at least one non-metadata event.
+    pub tracks: usize,
+    /// `ph:"X"` complete events (device segments).
+    pub complete_events: usize,
+    /// `ph:"i"` instant events (engine decisions).
+    pub instant_events: usize,
+}
+
+fn lookup<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::UInt(u) => Some(u),
+        Value::Int(i) if i >= 0 => Some(i as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::Float(f) => Some(f),
+        Value::UInt(u) => Some(u as f64),
+        Value::Int(i) => Some(i as f64),
+        _ => None,
+    }
+}
+
+/// Schema-check a Chrome-trace JSON document: it must parse, carry a
+/// `traceEvents` array, and every non-metadata event needs a finite,
+/// per-track monotone (non-decreasing) `ts`. This is the check
+/// `scripts/ci.sh` runs against the CLI's `--trace-out` output.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceCheck, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Value::Map(top) = doc else {
+        return Err("top level is not an object".into());
+    };
+    let Some(Value::Seq(events)) = lookup(&top, "traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut complete = 0usize;
+    let mut instants = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let Value::Map(fields) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let ph = match lookup(fields, "ph") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => return Err(format!("event {i} has no ph")),
+        };
+        if ph == "M" {
+            continue;
+        }
+        let tid = lookup(fields, "tid")
+            .and_then(as_u64)
+            .ok_or_else(|| format!("event {i} has no tid"))?;
+        let ts = lookup(fields, "ts")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("event {i} has no ts"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i} has non-finite or negative ts {ts}"));
+        }
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: ts {ts} goes backwards on track {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        match ph {
+            "X" => {
+                let dur = lookup(fields, "dur")
+                    .and_then(as_f64)
+                    .ok_or_else(|| format!("event {i}: complete event has no dur"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i} has invalid dur {dur}"));
+                }
+                complete += 1;
+            }
+            "i" => instants += 1,
+            other => return Err(format!("event {i} has unsupported ph {other:?}")),
+        }
+    }
+    Ok(ChromeTraceCheck {
+        events: events.len(),
+        tracks: last_ts.len(),
+        complete_events: complete,
+        instant_events: instants,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{PrefillStopReason, TraceEvent};
+    use tdpipe_sim::SegmentKind;
+
+    fn sample() -> (Timeline, FlightRecorder) {
+        let mut tl = Timeline::new(true);
+        tl.record(0, 0.0, 1.0, SegmentKind::Prefill, 1);
+        tl.record(1, 0.25, 1.25, SegmentKind::Prefill, 1);
+        tl.record(0, 1.5, 2.5, SegmentKind::Decode, 2);
+        let mut r = FlightRecorder::with_capacity(2);
+        r.record(
+            0.0,
+            TraceEvent::PrefillStop {
+                reason: PrefillStopReason::Budget,
+                admitted: 3,
+            },
+        );
+        r.record(
+            1.5,
+            TraceEvent::SwitchDecision {
+                spatial: 0.8,
+                temporal: 0.9,
+                batch: 12,
+                est_longest: 40.0,
+                est_phase_len: 25.0,
+                switch: true,
+            },
+        );
+        (tl, r)
+    }
+
+    #[test]
+    fn export_passes_validation() {
+        let (tl, r) = sample();
+        let json = chrome_trace(&tl, &r);
+        let check = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(check.complete_events, tl.segments().len());
+        assert_eq!(check.instant_events, r.events().len());
+        // engine track + two device tracks
+        assert_eq!(check.tracks, 3);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let (tl, r) = sample();
+        assert_eq!(chrome_trace(&tl, &r), chrome_trace(&tl, &r));
+    }
+
+    #[test]
+    fn validator_rejects_backwards_ts() {
+        let bad = r#"{"traceEvents":[
+            {"ph":"i","s":"t","pid":0,"tid":0,"ts":5.0,"name":"a","args":{}},
+            {"ph":"i","s":"t","pid":0,"tid":0,"ts":4.0,"name":"b","args":{}}
+        ]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_non_json() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! The per-phase decision table: a plain-text digest of the journal.
+//!
+//! One row per engine phase, answering the questions the paper's
+//! Figs. 9/10/12 raise: how many prompts each prefill phase admitted and
+//! *why it stopped*, and — for decode phases — how much the §3.4 stealer
+//! moved, what got evicted, and the §3.5 intensity pair at the switch.
+
+use tdpipe_kvcache::Phase;
+
+use crate::event::{EvictMode, FlightRecorder, PrefillStopReason, TraceEvent};
+
+#[derive(Default, Clone)]
+struct PhaseRow {
+    phase: Option<Phase>,
+    start: f64,
+    end: f64,
+    admits: u64,
+    admit_tokens: u64,
+    last_stop: Option<PrefillStopReason>,
+    withheld: usize,
+    supplemented: usize,
+    evict_recompute: usize,
+    evict_swap: usize,
+    last_switch: Option<(f64, f64, bool)>,
+}
+
+impl PhaseRow {
+    fn detail(&self) -> String {
+        match self.phase {
+            Some(Phase::Prefill) => {
+                let stop = self
+                    .last_stop
+                    .map(|r| format!("{r:?}"))
+                    .unwrap_or_else(|| "-".into());
+                format!(
+                    "admitted {} ({} tok), stop: {}",
+                    self.admits, self.admit_tokens, stop
+                )
+            }
+            Some(Phase::Decode) => {
+                let mut parts = Vec::new();
+                if self.withheld > 0 || self.supplemented > 0 {
+                    parts.push(format!(
+                        "steal -{}/+{}",
+                        self.withheld, self.supplemented
+                    ));
+                }
+                if self.evict_recompute > 0 || self.evict_swap > 0 {
+                    parts.push(format!(
+                        "evict {}r/{}s",
+                        self.evict_recompute, self.evict_swap
+                    ));
+                }
+                if let Some((sp, tp, sw)) = self.last_switch {
+                    parts.push(format!(
+                        "intensity {:.3} vs {:.3} -> {}",
+                        sp,
+                        tp,
+                        if sw { "switch" } else { "stay" }
+                    ));
+                }
+                if parts.is_empty() {
+                    parts.push("drained".into());
+                }
+                parts.join(", ")
+            }
+            None => "-".into(),
+        }
+    }
+}
+
+/// Render the journal as a per-phase table. Returns a fixed-layout text
+/// block (header + one line per phase); stable across identical runs.
+pub fn decision_table(journal: &FlightRecorder) -> String {
+    let mut rows: Vec<PhaseRow> = Vec::new();
+    let mut cur = PhaseRow {
+        phase: Some(Phase::Prefill),
+        ..PhaseRow::default()
+    };
+    let mut first_event = true;
+    for e in journal.events() {
+        if first_event {
+            cur.start = e.t;
+            first_event = false;
+        }
+        cur.end = e.t;
+        match e.event {
+            TraceEvent::PhaseSwitch { from, to } => {
+                cur.phase = Some(from);
+                rows.push(cur.clone());
+                cur = PhaseRow {
+                    phase: Some(to),
+                    start: e.t,
+                    end: e.t,
+                    ..PhaseRow::default()
+                };
+            }
+            TraceEvent::PrefillAdmit { tokens, .. } => {
+                cur.admits += 1;
+                cur.admit_tokens += tokens;
+            }
+            TraceEvent::PrefillStop { reason, .. } => cur.last_stop = Some(reason),
+            TraceEvent::StealWithhold { n, .. } => cur.withheld += n,
+            TraceEvent::StealSupplement { n, .. } => cur.supplemented += n,
+            TraceEvent::Evict { mode, .. } => match mode {
+                EvictMode::Recompute => cur.evict_recompute += 1,
+                EvictMode::Swap => cur.evict_swap += 1,
+            },
+            TraceEvent::SwitchDecision {
+                spatial,
+                temporal,
+                switch,
+                ..
+            } => cur.last_switch = Some((spatial, temporal, switch)),
+            TraceEvent::StageBusy { .. } | TraceEvent::StageIdle { .. } => {}
+        }
+    }
+    if !first_event {
+        rows.push(cur);
+    }
+
+    let mut out = String::with_capacity(64 * (rows.len() + 1));
+    out.push_str(&format!(
+        "{:>5}  {:<7}  {:>12}  {:>12}  detail\n",
+        "phase", "kind", "t_start", "t_end"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let kind = r.phase.map(Phase::label).unwrap_or("-");
+        out.push_str(&format!(
+            "{:>5}  {:<7}  {:>12.6}  {:>12.6}  {}\n",
+            i,
+            kind,
+            r.start,
+            r.end,
+            r.detail()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AdmitReason;
+
+    #[test]
+    fn empty_journal_is_header_only() {
+        let t = decision_table(&FlightRecorder::disabled());
+        assert_eq!(t.lines().count(), 1);
+        assert!(t.contains("detail"));
+    }
+
+    #[test]
+    fn phases_become_rows() {
+        let mut r = FlightRecorder::with_capacity(8);
+        r.record(
+            0.0,
+            TraceEvent::PrefillAdmit {
+                request: 1,
+                tokens: 100,
+                reason: AdmitReason::FirstPrefill,
+            },
+        );
+        r.record(
+            0.1,
+            TraceEvent::PrefillStop {
+                reason: PrefillStopReason::Overflow,
+                admitted: 1,
+            },
+        );
+        r.record(
+            0.2,
+            TraceEvent::PhaseSwitch {
+                from: Phase::Prefill,
+                to: Phase::Decode,
+            },
+        );
+        r.record(
+            0.5,
+            TraceEvent::StealWithhold { n: 2, target: 4 },
+        );
+        r.record(
+            0.9,
+            TraceEvent::SwitchDecision {
+                spatial: 0.5,
+                temporal: 0.75,
+                batch: 8,
+                est_longest: 30.0,
+                est_phase_len: 20.0,
+                switch: true,
+            },
+        );
+        let t = decision_table(&r);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3, "{t}");
+        assert!(lines[1].contains("prefill"));
+        assert!(lines[1].contains("admitted 1 (100 tok), stop: Overflow"));
+        assert!(lines[2].contains("decode"));
+        assert!(lines[2].contains("steal -2/+0"));
+        assert!(lines[2].contains("0.500 vs 0.750 -> switch"));
+    }
+}

@@ -12,17 +12,34 @@ use serde::{Deserialize, Serialize};
 /// Panics on an empty sample or `p` outside `[0, 100]`.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty sample");
-    assert!((0.0..=100.0).contains(&p), "p={p} out of range");
     let mut v = values.to_vec();
     v.sort_by(f64::total_cmp);
-    let rank = p / 100.0 * (v.len() - 1) as f64;
+    percentile_sorted(&v, p)
+}
+
+/// [`percentile`] over an already-sorted sample: callers that need several
+/// percentiles of the same field sort once and interpolate many times,
+/// instead of paying a clone + sort per call.
+///
+/// `sorted` must be ascending (total order); `p` is in `[0, 100]`.
+///
+/// # Panics
+/// Panics on an empty sample or `p` outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "p={p} out of range");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+        "sample must be sorted"
+    );
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
-        v[lo]
+        sorted[lo]
     } else {
         let frac = rank - lo as f64;
-        v[lo] * (1.0 - frac) + v[hi] * frac
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
 }
 
@@ -55,11 +72,28 @@ pub struct FieldStats {
 impl FieldStats {
     fn compute(values: &[f64]) -> Self {
         let mean = values.iter().sum::<f64>() / values.len() as f64;
+        // One sort serves every order statistic (p50, p90, max) — the old
+        // code cloned + re-sorted per percentile call.
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        // Total-order max: under total_cmp a NaN sorts *after* every
+        // number (unlike the old `fold(0.0, f64::max)`, which silently
+        // swallowed NaN and clamped negatives to 0), so the checked cast
+        // below rejects it instead of wrapping.
+        let max = *sorted.last().unwrap_or(&f64::NAN);
+        assert!(
+            max.is_finite() && (0.0..=u32::MAX as f64).contains(&max),
+            "field max {max} not representable as u32"
+        );
         FieldStats {
             mean,
-            p50: percentile(values, 50.0),
-            p90: percentile(values, 90.0),
-            max: values.iter().cloned().fold(0.0, f64::max) as u32,
+            p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            // analyzer: allow(lossy-float-cast) — range-checked above:
+            // finite and within [0, u32::MAX], so the cast is exact up to
+            // integer truncation of a length that was integral to begin
+            // with.
+            max: max as u32,
         }
     }
 }
@@ -123,6 +157,30 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_empty_panics() {
         percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let v = [9.0, 1.0, 5.0, 2.0, 2.0, 7.5];
+        let mut sorted = v.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.0, 10.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(percentile(&v, p), percentile_sorted(&sorted, p), "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_sorted_rejects_bad_p() {
+        percentile_sorted(&[1.0], 101.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn field_stats_reject_nan_max() {
+        // The old fold(0.0, f64::max) swallowed NaN silently; the
+        // total-order max surfaces it.
+        FieldStats::compute(&[1.0, f64::NAN]);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 #   3. full test suite (unit + integration, all crates — includes the
 #      bounded protocol model checker)
 #   4. bit-identical smoke diff against the committed Fig. 11 snapshot
+#   5. flight-recorder smoke: a traced CLI run whose Chrome-trace export
+#      must pass the schema validator
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -25,4 +27,11 @@ cargo test --release --workspace -q
 step "smoke (bit-identical fig11 snapshot)"
 scripts/smoke.sh
 
-printf '\nci OK: build + tests + smoke all green\n'
+step "trace export smoke (schema-valid Chrome trace)"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+target/release/tdpipe-cli run --scheduler td --requests 200 \
+  --trace-out "$trace_tmp/run.trace.json"
+target/release/tdpipe-cli validate-trace --file "$trace_tmp/run.trace.json"
+
+printf '\nci OK: build + tests + smoke + trace export all green\n'

@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! tdpipe-cli run   --model 32b --node a100 --gpus 4 --scheduler td --requests 2000
+//! tdpipe-cli run   --scheduler td --requests 500 --trace-out run.trace.json
 //! tdpipe-cli plan  --model 70b --node l20 --gpus 4
 //! tdpipe-cli trace --requests 5000 --seed 42
+//! tdpipe-cli trace-summary --model 13b --requests 500
+//! tdpipe-cli validate-trace --file run.trace.json
 //! tdpipe-cli sweep --model 13b --node l20 --requests 1000
 //! ```
 //!
@@ -20,6 +23,7 @@ use tdpipe::model::ModelSpec;
 use tdpipe::predictor::classifier::TrainConfig;
 use tdpipe::predictor::{LengthPredictor, OraclePredictor, OutputLenPredictor};
 use tdpipe::sim::RunReport;
+use tdpipe::trace::{chrome_trace, decision_table, validate_chrome_trace};
 use tdpipe::workload::{ShareGptLikeConfig, Trace, TraceStats};
 
 const USAGE: &str = "\
@@ -29,8 +33,12 @@ USAGE:
   tdpipe-cli run   [--model 13b|32b|70b|30b] [--node l20|a100] [--gpus N]
                    [--scheduler td|tp-sb|tp-hb|pp-sb|pp-hb]
                    [--requests N] [--seed S] [--predictor oracle|trained]
+                   [--trace-out PATH]   (td only: Chrome-trace JSON export)
   tdpipe-cli plan  [--model ...] [--node ...] [--gpus N]
   tdpipe-cli trace [--requests N] [--seed S]
+  tdpipe-cli trace-summary  [--model ...] [--node ...] [--gpus N]
+                            [--requests N] [--seed S]
+  tdpipe-cli validate-trace --file PATH
   tdpipe-cli sweep [--model ...] [--node ...] [--gpus N] [--requests N]
 
 Defaults: --model 13b --node l20 --gpus 4 --scheduler td --requests 1000
@@ -57,6 +65,10 @@ impl Args {
 
     fn get(&self, key: &str, default: &str) -> String {
         self.0.get(key).cloned().unwrap_or_else(|| default.into())
+    }
+
+    fn opt(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
     }
 
     fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
@@ -119,6 +131,28 @@ fn run_one(
     })
 }
 
+/// A TD-Pipe run with the flight recorder (and, when `timeline` is set,
+/// per-segment recording for the Chrome export) switched on.
+fn run_td_traced(
+    model: &ModelSpec,
+    node: &NodeSpec,
+    trace: &Trace,
+    predictor: &dyn OutputLenPredictor,
+    timeline: bool,
+) -> Result<tdpipe::core::engine::RunOutcome, String> {
+    let cfg = TdPipeConfig {
+        engine: EngineConfig {
+            record_trace: true,
+            record_timeline: timeline,
+            ..EngineConfig::default()
+        },
+        ..TdPipeConfig::default()
+    };
+    Ok(TdPipeEngine::new(model.clone(), node, cfg)
+        .map_err(|e| e.to_string())?
+        .run(trace, predictor))
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match real_main(&argv) {
@@ -156,13 +190,25 @@ fn real_main(argv: &[String]) -> Result<(), String> {
                 }
                 other => return Err(format!("unknown predictor '{other}'")),
             };
-            let report = run_one(
-                &args.get("scheduler", "td"),
-                &model,
-                &node,
-                &trace,
-                predictor.as_ref(),
-            )?;
+            let scheduler = args.get("scheduler", "td");
+            let report = if let Some(path) = args.opt("trace-out") {
+                if scheduler != "td" {
+                    return Err(format!(
+                        "--trace-out only records the TD-Pipe scheduler (got --scheduler {scheduler})"
+                    ));
+                }
+                let out = run_td_traced(&model, &node, &trace, predictor.as_ref(), true)?;
+                std::fs::write(path, chrome_trace(&out.timeline, &out.journal))
+                    .map_err(|e| format!("--trace-out {path}: {e}"))?;
+                println!(
+                    "trace: {} engine events + {} timeline segments -> {path}",
+                    out.journal.events().len(),
+                    out.timeline.segments().len()
+                );
+                out.report
+            } else {
+                run_one(&scheduler, &model, &node, &trace, predictor.as_ref())?
+            };
             println!("{report}");
             if let Some(l) = report.latency {
                 println!(
@@ -196,6 +242,24 @@ fn real_main(argv: &[String]) -> Result<(), String> {
         "trace" => {
             let trace = ShareGptLikeConfig::small(requests, seed).generate();
             println!("{}", TraceStats::compute(&trace));
+        }
+        "trace-summary" => {
+            let trace = ShareGptLikeConfig::small(requests, seed).generate();
+            let out = run_td_traced(&model, &node, &trace, &OraclePredictor, false)?;
+            println!("{}", out.report);
+            print!("{}", decision_table(&out.journal));
+        }
+        "validate-trace" => {
+            let path = args
+                .opt("file")
+                .ok_or("validate-trace needs --file PATH")?;
+            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let check =
+                validate_chrome_trace(&json).map_err(|e| format!("{path}: invalid trace: {e}"))?;
+            println!(
+                "{path}: ok — {} events ({} complete, {} instant) across {} tracks",
+                check.events, check.complete_events, check.instant_events, check.tracks
+            );
         }
         "sweep" => {
             let trace = ShareGptLikeConfig::small(requests, seed).generate();
@@ -233,6 +297,33 @@ mod tests {
         assert!(Args::parse(&args("--gpus")).is_err());
         let a = Args::parse(&args("--gpus eight")).unwrap();
         assert!(a.usize("gpus", 4).is_err());
+    }
+
+    #[test]
+    fn optional_flags_are_optional() {
+        let a = Args::parse(&args("--trace-out /tmp/t.json")).unwrap();
+        assert_eq!(a.opt("trace-out"), Some("/tmp/t.json"));
+        assert_eq!(a.opt("file"), None);
+    }
+
+    #[test]
+    fn traced_run_exports_a_valid_chrome_trace() {
+        let trace = ShareGptLikeConfig::small(24, 3).generate();
+        let model = model_of("13b").unwrap();
+        let node = node_of("l20", 2).unwrap();
+        let out = run_td_traced(&model, &node, &trace, &OraclePredictor, true).unwrap();
+        assert!(!out.journal.is_empty(), "recorder was on");
+        assert!(!out.timeline.segments().is_empty(), "timeline was on");
+        let check = validate_chrome_trace(&chrome_trace(&out.timeline, &out.journal)).unwrap();
+        assert_eq!(check.complete_events, out.timeline.segments().len());
+        assert_eq!(check.instant_events, out.journal.events().len());
+        assert!(
+            !out.journal.stage_events().is_empty(),
+            "stage busy/idle events derived from the timeline"
+        );
+        // The decision table renders a header plus one row per phase.
+        let table = decision_table(&out.journal);
+        assert!(table.lines().count() >= 1 + out.report.phase_switches as usize);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! * [`core`] — the TD-Pipe scheduler itself
 //! * [`baselines`] — TP+SB, TP+HB, PP+SB, PP+HB reference schedulers
 //! * [`offload`] — KV-offloading engine + PCIe contention model (§2.2.2)
+//! * [`trace`] — scheduling flight recorder + Chrome-trace export
 
 #![forbid(unsafe_code)]
 
@@ -29,4 +30,5 @@ pub use tdpipe_offload as offload;
 pub use tdpipe_predictor as predictor;
 pub use tdpipe_runtime as runtime;
 pub use tdpipe_sim as sim;
+pub use tdpipe_trace as trace;
 pub use tdpipe_workload as workload;

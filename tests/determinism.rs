@@ -151,6 +151,11 @@ fn determinism_rule_set_covers_every_report_feeding_crate() {
         covered.contains(&"src"),
         "the root tdpipe crate must be under the determinism set"
     );
+    assert!(
+        covered.contains(&"crates/trace/src"),
+        "the flight recorder serializes journals that are byte-compared \
+         across runs — it must stay under the determinism set"
+    );
 
     // Exempt: `runtime` really runs threads and timeouts (wall-clock use
     // is its job; its safety rules live in the panic-safety set), and
