@@ -1,0 +1,40 @@
+//! Scratch review probe — not part of the PR.
+
+use tdpipe::core::config::{EngineConfig, PreemptionMode};
+use tdpipe::core::{TdPipeConfig, TdPipeEngine};
+use tdpipe::hw::NodeSpec;
+use tdpipe::model::ModelSpec;
+use tdpipe::workload::Request;
+
+struct AlwaysOne;
+impl tdpipe::predictor::OutputLenPredictor for AlwaysOne {
+    fn predict(&self, _r: &Request) -> u32 {
+        1
+    }
+}
+
+#[test]
+fn swap_plus_trace_journal_is_time_ordered() {
+    let t = tdpipe::workload::ShareGptLikeConfig::small(400, 5).generate();
+    let cfg = TdPipeConfig {
+        engine: EngineConfig {
+            preemption: PreemptionMode::Swap,
+            record_trace: true,
+            ..EngineConfig::default()
+        },
+        ..TdPipeConfig::default()
+    };
+    let out = TdPipeEngine::new(ModelSpec::llama2_13b(), &NodeSpec::l20(4), cfg)
+        .unwrap()
+        .run(&t, &AlwaysOne);
+    let ev = out.journal.events();
+    assert!(out.report.swapped_tokens > 0, "need swap pressure");
+    for w in ev.windows(2) {
+        assert!(
+            w[1].t >= w[0].t,
+            "journal out of order: {} then {}",
+            w[0].t,
+            w[1].t
+        );
+    }
+}
