@@ -64,6 +64,9 @@ pub struct RunState {
     evict_heap: BinaryHeap<(u64, usize)>,
     /// Eviction scratch: positions already evicted this step.
     evicted: Vec<bool>,
+    /// Lifetime recompute-eviction count (for the metrics plane; plain
+    /// add, never branched on).
+    pub evictions: u64,
 }
 
 impl RunState {
@@ -76,6 +79,7 @@ impl RunState {
             next_seq: 0,
             evict_heap: BinaryHeap::new(),
             evicted: Vec::new(),
+            evictions: 0,
         }
     }
 
@@ -260,6 +264,7 @@ impl RunState {
             lane.alloc.free(victim as u64).expect("victim resident");
             *ctx -= self.pool.get(victim).resident_tokens();
             self.pool.note_eviction(victim);
+            self.evictions += 1;
             lane.pending.push_front(victim);
             // `idx` may have been the victim; the `evicted` check at the
             // loop head re-routes, otherwise retry this slot.

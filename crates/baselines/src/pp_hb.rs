@@ -7,12 +7,16 @@ use tdpipe_core::config::EngineConfig;
 use tdpipe_core::control::ControlPlane;
 use tdpipe_core::cost::PpCost;
 use tdpipe_core::engine::InfeasibleConfig;
+use tdpipe_core::exec::PlaneStats;
+use tdpipe_core::metrics::EngineMetrics;
 use tdpipe_core::plan::MemoryPlan;
 use tdpipe_core::request::RequestPool;
 use tdpipe_hw::NodeSpec;
+use tdpipe_kvcache::AllocStats;
 use tdpipe_model::ModelSpec;
 use tdpipe_predictor::OutputLenPredictor;
 use tdpipe_sim::{PipelineSim, RunReport, SegmentKind};
+use tdpipe_trace::EvictMode;
 use tdpipe_workload::Trace;
 
 /// A virtual engine running hybrid iterations.
@@ -72,6 +76,7 @@ impl PpHbEngine {
         sim: &mut PipelineSim,
         inflight: &mut VecDeque<(usize, f64, Vec<usize>)>,
         scratch: &mut Scratch,
+        metrics: &mut EngineMetrics,
         now: f64,
     ) -> bool {
         debug_assert!(!slot.busy);
@@ -111,6 +116,21 @@ impl PpHbEngine {
         }
         if decode_b == 0 && chunks.is_empty() {
             return false; // dormant
+        }
+        if metrics.is_enabled() {
+            if decode_b > 0 {
+                metrics.on_decode_step(decode_b);
+            }
+            for &(c, _) in chunks.iter() {
+                metrics.on_chunk(c as u64);
+            }
+            if !completed.is_empty() {
+                let tokens = completed
+                    .iter()
+                    .map(|&i| st.pool.get(i).prefill_tokens() as u64)
+                    .sum();
+                metrics.on_prefill_batch(completed.len(), tokens);
+            }
         }
         self.cost.hybrid_job_into(
             decode_b,
@@ -159,6 +179,7 @@ impl PpHbEngine {
         let mut inflight: VecDeque<(usize, f64, Vec<usize>)> = VecDeque::new();
         let mut scratch = Scratch::default();
         let mut ctrl = ControlPlane::new(&self.cfg);
+        let mut metrics = EngineMetrics::new(self.cfg.record_metrics);
         let mut now = 0.0f64;
 
         let limit = self.cfg.pp_inflight_limit.max(1);
@@ -168,7 +189,7 @@ impl PpHbEngine {
                     break;
                 }
                 if !slots[sid].busy {
-                    self.schedule(sid, &mut slots[sid], &mut lanes[sid], &mut st, &mut sim, &mut inflight, &mut scratch, now);
+                    self.schedule(sid, &mut slots[sid], &mut lanes[sid], &mut st, &mut sim, &mut inflight, &mut scratch, &mut metrics, now);
                 }
             }
             if !inflight.is_empty() || st.pool.all_finished() {
@@ -199,6 +220,12 @@ impl PpHbEngine {
             members.extend(completed);
             slots[sid].residents = members;
             slots[sid].ctx = ctx;
+            if metrics.is_enabled() {
+                let used: u64 = lanes.iter().map(|l| l.alloc.used_blocks()).sum();
+                let total: u64 = lanes.iter().map(|l| l.alloc.num_blocks()).sum();
+                let occ = if total == 0 { 1.0 } else { used as f64 / total as f64 };
+                metrics.sample(now, occ, inflight.len(), 0, RunState::total_pending(&lanes));
+            }
             // Round-robin over virtual engines, keeping at most
             // `pp_inflight_limit` micro-batches in flight.
             for off in 1..=n {
@@ -207,7 +234,7 @@ impl PpHbEngine {
                 }
                 let s = (sid + off) % n;
                 if !slots[s].busy {
-                    self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, now);
+                    self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, &mut metrics, now);
                 }
             }
             if inflight.is_empty() && !st.pool.all_finished() {
@@ -224,7 +251,7 @@ impl PpHbEngine {
                             break;
                         }
                         if !slots[s].busy {
-                            self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, now);
+                            self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, &mut metrics, now);
                         }
                     }
                     if !inflight.is_empty() {
@@ -244,22 +271,35 @@ impl PpHbEngine {
         }
 
         st.pool.assert_conserved();
+        metrics.on_evictions(EvictMode::Recompute, st.evictions);
         let makespan = sim.drained_at();
         let timeline = sim.into_timeline();
+        let report = RunReport {
+            scheduler: "PP+HB".into(),
+            makespan,
+            num_requests: st.pool.len(),
+            input_tokens: st.pool.input_tokens,
+            output_tokens: st.pool.output_tokens,
+            recomputed_tokens: st.pool.recomputed_tokens,
+            swapped_tokens: st.pool.swapped_tokens,
+            phase_switches: 0,
+            mean_utilization: timeline.mean_utilization(),
+            latency: st.pool.latency_summary(),
+        };
+        let alloc = lanes
+            .iter()
+            .fold(AllocStats::default(), |a, l| a.merged(l.alloc.stats()));
+        let metrics = metrics.finish(
+            &report,
+            alloc,
+            self.plan.kv_blocks,
+            &timeline,
+            PlaneStats::default(),
+        );
         BaselineOutcome {
-            report: RunReport {
-                scheduler: "PP+HB".into(),
-                makespan,
-                num_requests: st.pool.len(),
-                input_tokens: st.pool.input_tokens,
-                output_tokens: st.pool.output_tokens,
-                recomputed_tokens: st.pool.recomputed_tokens,
-                swapped_tokens: st.pool.swapped_tokens,
-                phase_switches: 0,
-                mean_utilization: timeline.mean_utilization(),
-                latency: st.pool.latency_summary(),
-            },
+            report,
             timeline,
+            metrics,
         }
     }
 }

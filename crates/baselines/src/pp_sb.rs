@@ -8,12 +8,16 @@ use tdpipe_core::config::EngineConfig;
 use tdpipe_core::control::ControlPlane;
 use tdpipe_core::cost::PpCost;
 use tdpipe_core::engine::InfeasibleConfig;
+use tdpipe_core::exec::PlaneStats;
+use tdpipe_core::metrics::EngineMetrics;
 use tdpipe_core::plan::MemoryPlan;
 use tdpipe_core::request::RequestPool;
 use tdpipe_hw::NodeSpec;
+use tdpipe_kvcache::AllocStats;
 use tdpipe_model::ModelSpec;
 use tdpipe_predictor::OutputLenPredictor;
 use tdpipe_sim::{PipelineSim, RunReport, SegmentKind};
+use tdpipe_trace::EvictMode;
 use tdpipe_workload::Trace;
 
 /// What a slot's in-flight job will deliver.
@@ -85,6 +89,7 @@ impl PpSbEngine {
         sim: &mut PipelineSim,
         inflight: &mut VecDeque<(usize, f64, JobKind)>,
         scratch: &mut Scratch,
+        metrics: &mut EngineMetrics,
         now: f64,
     ) -> bool {
         debug_assert!(!slot.busy);
@@ -102,6 +107,10 @@ impl PpSbEngine {
                 &mut scratch.lens,
             );
             debug_assert!(!batch.is_empty());
+            metrics.on_prefill_batch(
+                batch.len(),
+                scratch.lens.iter().map(|&l| l as u64).sum(),
+            );
             self.cost.prefill_job_into(&scratch.lens, &mut scratch.job);
             let job = &scratch.job;
             let t = sim.launch(now, &job.exec, &job.xfer, SegmentKind::Prefill, sid as u64);
@@ -109,6 +118,7 @@ impl PpSbEngine {
             slot.busy = true;
             true
         } else if !slot.residents.is_empty() {
+            metrics.on_decode_step(slot.residents.len());
             self.cost
                 .decode_job_into(slot.residents.len(), slot.ctx, &mut scratch.job);
             let job = &scratch.job;
@@ -146,6 +156,7 @@ impl PpSbEngine {
         let mut inflight: VecDeque<(usize, f64, JobKind)> = VecDeque::new();
         let mut scratch = Scratch::default();
         let mut ctrl = ControlPlane::new(&self.cfg);
+        let mut metrics = EngineMetrics::new(self.cfg.record_metrics);
         let mut now = 0.0f64;
 
         let limit = self.cfg.pp_inflight_limit.max(1);
@@ -155,7 +166,7 @@ impl PpSbEngine {
                     break;
                 }
                 if !slots[sid].busy {
-                    self.schedule(sid, &mut slots[sid], &mut lanes[sid], &mut st, &mut sim, &mut inflight, &mut scratch, now);
+                    self.schedule(sid, &mut slots[sid], &mut lanes[sid], &mut st, &mut sim, &mut inflight, &mut scratch, &mut metrics, now);
                 }
             }
             if !inflight.is_empty() || st.pool.all_finished() {
@@ -196,6 +207,12 @@ impl PpSbEngine {
                     slots[sid].ctx = ctx;
                 }
             }
+            if metrics.is_enabled() {
+                let used: u64 = lanes.iter().map(|l| l.alloc.used_blocks()).sum();
+                let total: u64 = lanes.iter().map(|l| l.alloc.num_blocks()).sum();
+                let occ = if total == 0 { 1.0 } else { used as f64 / total as f64 };
+                metrics.sample(now, occ, inflight.len(), 0, RunState::total_pending(&lanes));
+            }
             // Round-robin over virtual engines, keeping at most
             // `pp_inflight_limit` micro-batches in flight.
             for off in 1..=n {
@@ -204,7 +221,7 @@ impl PpSbEngine {
                 }
                 let s = (sid + off) % n;
                 if !slots[s].busy {
-                    self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, now);
+                    self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, &mut metrics, now);
                 }
             }
             if inflight.is_empty() && !st.pool.all_finished() {
@@ -221,7 +238,7 @@ impl PpSbEngine {
                             break;
                         }
                         if !slots[s].busy {
-                            self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, now);
+                            self.schedule(s, &mut slots[s], &mut lanes[s], &mut st, &mut sim, &mut inflight, &mut scratch, &mut metrics, now);
                         }
                     }
                     if !inflight.is_empty() {
@@ -241,22 +258,35 @@ impl PpSbEngine {
         }
 
         st.pool.assert_conserved();
+        metrics.on_evictions(EvictMode::Recompute, st.evictions);
         let makespan = sim.drained_at();
         let timeline = sim.into_timeline();
+        let report = RunReport {
+            scheduler: "PP+SB".into(),
+            makespan,
+            num_requests: st.pool.len(),
+            input_tokens: st.pool.input_tokens,
+            output_tokens: st.pool.output_tokens,
+            recomputed_tokens: st.pool.recomputed_tokens,
+            swapped_tokens: st.pool.swapped_tokens,
+            phase_switches: 0,
+            mean_utilization: timeline.mean_utilization(),
+            latency: st.pool.latency_summary(),
+        };
+        let alloc = lanes
+            .iter()
+            .fold(AllocStats::default(), |a, l| a.merged(l.alloc.stats()));
+        let metrics = metrics.finish(
+            &report,
+            alloc,
+            self.plan.kv_blocks,
+            &timeline,
+            PlaneStats::default(),
+        );
         BaselineOutcome {
-            report: RunReport {
-                scheduler: "PP+SB".into(),
-                makespan,
-                num_requests: st.pool.len(),
-                input_tokens: st.pool.input_tokens,
-                output_tokens: st.pool.output_tokens,
-                recomputed_tokens: st.pool.recomputed_tokens,
-                swapped_tokens: st.pool.swapped_tokens,
-                phase_switches: 0,
-                mean_utilization: timeline.mean_utilization(),
-                latency: st.pool.latency_summary(),
-            },
+            report,
             timeline,
+            metrics,
         }
     }
 }

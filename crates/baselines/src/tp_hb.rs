@@ -7,12 +7,15 @@ use tdpipe_core::config::EngineConfig;
 use tdpipe_core::control::ControlPlane;
 use tdpipe_core::cost::TpCost;
 use tdpipe_core::engine::InfeasibleConfig;
+use tdpipe_core::exec::PlaneStats;
+use tdpipe_core::metrics::EngineMetrics;
 use tdpipe_core::plan::MemoryPlan;
 use tdpipe_core::request::RequestPool;
 use tdpipe_hw::NodeSpec;
 use tdpipe_model::ModelSpec;
 use tdpipe_predictor::OutputLenPredictor;
 use tdpipe_sim::{PipelineSim, RunReport, SegmentKind, TransferMode};
+use tdpipe_trace::EvictMode;
 use tdpipe_workload::Trace;
 
 /// The TP+HB engine.
@@ -87,6 +90,7 @@ impl TpHbEngine {
         let mut chunks: Vec<(u32, u32)> = Vec::new();
         let mut completed: Vec<usize> = Vec::new();
         let mut ctrl = ControlPlane::new(&self.cfg);
+        let mut metrics = EngineMetrics::new(self.cfg.record_metrics);
         let mut now = 0.0f64;
         let max_seqs = self.cfg.max_num_seqs.unwrap_or(usize::MAX);
 
@@ -142,6 +146,21 @@ impl TpHbEngine {
                 );
             }
 
+            if metrics.is_enabled() {
+                if decode_b > 0 {
+                    metrics.on_decode_step(decode_b);
+                }
+                for &(c, _) in &chunks {
+                    metrics.on_chunk(c as u64);
+                }
+                if !completed.is_empty() {
+                    let tokens = completed
+                        .iter()
+                        .map(|&i| st.pool.get(i).prefill_tokens() as u64)
+                        .sum();
+                    metrics.on_prefill_batch(completed.len(), tokens);
+                }
+            }
             let t = self.cost.hybrid_time(
                 decode_b,
                 ctx,
@@ -165,25 +184,36 @@ impl TpHbEngine {
                 ctx += st.pool.get(idx).resident_tokens();
             }
             residents.extend(completed.iter().copied());
+            metrics.sample(timing.finish, lane.alloc.occupancy(), 1, 0, lane.pending.len());
         }
 
         st.pool.assert_conserved();
+        metrics.on_evictions(EvictMode::Recompute, st.evictions);
         let makespan = sim.drained_at();
         let timeline = sim.into_timeline();
+        let report = RunReport {
+            scheduler: "TP+HB".into(),
+            makespan,
+            num_requests: st.pool.len(),
+            input_tokens: st.pool.input_tokens,
+            output_tokens: st.pool.output_tokens,
+            recomputed_tokens: st.pool.recomputed_tokens,
+            swapped_tokens: st.pool.swapped_tokens,
+            phase_switches: 0,
+            mean_utilization: timeline.mean_utilization(),
+            latency: st.pool.latency_summary(),
+        };
+        let metrics = metrics.finish(
+            &report,
+            lane.alloc.stats(),
+            self.plan.kv_blocks,
+            &timeline,
+            PlaneStats::default(),
+        );
         BaselineOutcome {
-            report: RunReport {
-                scheduler: "TP+HB".into(),
-                makespan,
-                num_requests: st.pool.len(),
-                input_tokens: st.pool.input_tokens,
-                output_tokens: st.pool.output_tokens,
-                recomputed_tokens: st.pool.recomputed_tokens,
-                swapped_tokens: st.pool.swapped_tokens,
-                phase_switches: 0,
-                mean_utilization: timeline.mean_utilization(),
-                latency: st.pool.latency_summary(),
-            },
+            report,
             timeline,
+            metrics,
         }
     }
 }

@@ -5,12 +5,16 @@ use tdpipe_core::config::EngineConfig;
 use tdpipe_core::control::ControlPlane;
 use tdpipe_core::cost::TpCost;
 use tdpipe_core::engine::InfeasibleConfig;
+use tdpipe_core::exec::PlaneStats;
+use tdpipe_core::metrics::EngineMetrics;
 use tdpipe_core::plan::MemoryPlan;
 use tdpipe_core::request::RequestPool;
 use tdpipe_hw::NodeSpec;
 use tdpipe_model::ModelSpec;
+use tdpipe_metrics::MetricsSnapshot;
 use tdpipe_predictor::OutputLenPredictor;
 use tdpipe_sim::{PipelineSim, RunReport, SegmentKind, Timeline, TransferMode};
+use tdpipe_trace::EvictMode;
 use tdpipe_workload::Trace;
 
 /// Result of a baseline run.
@@ -20,6 +24,8 @@ pub struct BaselineOutcome {
     pub report: RunReport,
     /// Device activity (single lock-step device for TP layouts).
     pub timeline: Timeline,
+    /// Metrics-plane snapshot (empty unless `record_metrics`).
+    pub metrics: MetricsSnapshot,
 }
 
 /// The TP+SB engine.
@@ -92,6 +98,7 @@ impl TpSbEngine {
         let mut ctx: u64 = 0;
         let mut lens: Vec<u32> = Vec::new();
         let mut ctrl = ControlPlane::new(&self.cfg);
+        let mut metrics = EngineMetrics::new(self.cfg.record_metrics);
         let mut now = 0.0f64;
         let max_seqs = self.cfg.max_num_seqs.unwrap_or(usize::MAX);
 
@@ -110,6 +117,7 @@ impl TpSbEngine {
                     &mut lens,
                 );
                 debug_assert!(!batch.is_empty());
+                metrics.on_prefill_batch(batch.len(), lens.iter().map(|&l| l as u64).sum());
                 let t = self.cost.prefill_time(&lens);
                 let timing = sim.launch_monolithic(now, t, SegmentKind::Prefill, 0);
                 for &idx in &batch {
@@ -119,10 +127,12 @@ impl TpSbEngine {
                 now = ctrl.process(timing.finish, batch.len());
                 residents.extend(batch);
             } else if !residents.is_empty() {
+                metrics.on_decode_step(residents.len());
                 let t = self.cost.decode_time(residents.len(), ctx);
                 let timing = sim.launch_monolithic(now, t, SegmentKind::Decode, 1);
                 now = ctrl.process(timing.finish, residents.len());
                 st.advance_decode_ctx(&mut lane, &mut residents, timing.finish, &mut ctx);
+                metrics.sample(timing.finish, lane.alloc.occupancy(), 1, 0, lane.pending.len());
             } else {
                 let idx = *lane.pending.front().expect("unfinished implies pending");
                 if st.pool.get(idx).arrival > now {
@@ -140,22 +150,32 @@ impl TpSbEngine {
         }
 
         st.pool.assert_conserved();
+        metrics.on_evictions(EvictMode::Recompute, st.evictions);
         let makespan = sim.drained_at();
         let timeline = sim.into_timeline();
+        let report = RunReport {
+            scheduler: "TP+SB".into(),
+            makespan,
+            num_requests: st.pool.len(),
+            input_tokens: st.pool.input_tokens,
+            output_tokens: st.pool.output_tokens,
+            recomputed_tokens: st.pool.recomputed_tokens,
+            swapped_tokens: st.pool.swapped_tokens,
+            phase_switches: 0,
+            mean_utilization: timeline.mean_utilization(),
+            latency: st.pool.latency_summary(),
+        };
+        let metrics = metrics.finish(
+            &report,
+            lane.alloc.stats(),
+            self.plan.kv_blocks,
+            &timeline,
+            PlaneStats::default(),
+        );
         BaselineOutcome {
-            report: RunReport {
-                scheduler: "TP+SB".into(),
-                makespan,
-                num_requests: st.pool.len(),
-                input_tokens: st.pool.input_tokens,
-                output_tokens: st.pool.output_tokens,
-                recomputed_tokens: st.pool.recomputed_tokens,
-                swapped_tokens: st.pool.swapped_tokens,
-                phase_switches: 0,
-                mean_utilization: timeline.mean_utilization(),
-                latency: st.pool.latency_summary(),
-            },
+            report,
             timeline,
+            metrics,
         }
     }
 }

@@ -7,7 +7,7 @@
 //! occupancy is held only briefly, evidencing the AI-based greedy
 //! prefill's aggressive-but-safe admission.
 
-use tdpipe_bench::{num_requests, paper_trace, run_tdpipe, save_text};
+use tdpipe_bench::{num_requests, paper_trace, run_tdpipe, save_json, save_text};
 use tdpipe_core::config::EngineConfig;
 use tdpipe_core::TdPipeConfig;
 use tdpipe_hw::NodeSpec;
@@ -32,6 +32,7 @@ fn main() {
     let cfg = TdPipeConfig {
         engine: EngineConfig {
             record_trace: true,
+            record_metrics: true,
             ..EngineConfig::default()
         },
         ..TdPipeConfig::default()
@@ -71,10 +72,13 @@ fn main() {
         println!("  ... ({} more phases)", shown - 24);
     }
 
-    // Occupancy-over-time CSV (plottable as the paper's figure) and the
-    // scheduling decisions behind each band.
+    // Occupancy-over-time CSV (plottable as the paper's figure), the
+    // scheduling decisions behind each band, and the full metrics
+    // snapshot (counters, histograms, and the virtual-time series the
+    // sampler records on its fixed grid).
     save_text("fig12_kv_usage.csv", &out.occupancy.to_csv());
     save_text("fig12_decision_table.txt", &decision_table(&out.journal));
+    save_json("fig12.metrics.json", &out.metrics);
 
     // Sanity characterisation mirrored in EXPERIMENTS.md: decode bands
     // reach near-full occupancy then decline.

@@ -73,6 +73,13 @@ pub struct EngineConfig {
     /// together with [`EngineConfig::record_timeline`] to get device
     /// tracks in the Chrome-trace export.
     pub record_trace: bool,
+    /// Whether the engine maintains the deterministic metrics plane
+    /// (`tdpipe-metrics`): typed counters/gauges/histograms plus the
+    /// virtual-time series sampler. Off by default: a disabled registry is
+    /// a single-branch no-op per update, so default runs stay
+    /// bit-identical. A `true` run is a pure observer — the schedule and
+    /// report are unchanged (pinned in `tests/metrics_export.rs`).
+    pub record_metrics: bool,
     /// Overflow strategy during decode.
     pub preemption: PreemptionMode,
     /// Effective host-link bandwidth for KV swapping, bytes/s (only used
@@ -98,6 +105,7 @@ impl Default for EngineConfig {
             record_timeline: false,
             record_occupancy: true,
             record_trace: false,
+            record_metrics: false,
             preemption: PreemptionMode::Recompute,
             host_link_bw: 20.0e9,
         }

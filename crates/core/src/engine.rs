@@ -28,12 +28,14 @@ use crate::cost::PpCost;
 use crate::exec::{ExecError, PipelineExecutor, SimExecutor};
 use crate::greedy::GreedyPrefillPlanner;
 use crate::intensity::{IntensityComparator, PrefillPhaseEstimate};
+use crate::metrics::EngineMetrics;
 use crate::plan::MemoryPlan;
 use crate::request::RequestPool;
 use crate::steal::WorkStealer;
 use std::collections::VecDeque;
 use tdpipe_hw::{DecodeProfile, NodeSpec};
 use tdpipe_kvcache::{BlockAllocator, OccupancyTrace, Phase};
+use tdpipe_metrics::MetricsSnapshot;
 use tdpipe_model::ModelSpec;
 use tdpipe_predictor::OutputLenPredictor;
 use tdpipe_sim::{RunReport, SegmentKind, Timeline};
@@ -84,6 +86,8 @@ pub struct RunOutcome {
     pub phases: Vec<PhaseRecord>,
     /// Scheduling decision journal (disabled unless `record_trace`).
     pub journal: FlightRecorder,
+    /// Metrics-plane snapshot (empty unless `record_metrics`).
+    pub metrics: MetricsSnapshot,
 }
 
 /// The TD-Pipe inference engine for one `(model, node)` configuration.
@@ -249,6 +253,9 @@ impl TdPipeEngine {
         } else {
             FlightRecorder::disabled()
         };
+        // The metrics plane (ISSUE 5): same gating discipline as the
+        // recorder — disabled is a single-branch no-op per update.
+        let mut metrics = EngineMetrics::new(e.record_metrics);
         let comparator = IntensityComparator::new(self.build_profile(trace));
         let mut planner =
             GreedyPrefillPlanner::new(self.cfg.future_points(), self.plan.token_capacity());
@@ -312,6 +319,7 @@ impl TdPipeEngine {
                             admitted,
                         },
                     );
+                    metrics.on_prefill_stop(PrefillStopReason::Overflow);
                     break;
                 }
                 // Pack the next prefill batch up to the token budget.
@@ -361,6 +369,7 @@ impl TdPipeEngine {
                                 reason: AdmitReason::SwapIn,
                             },
                         );
+                        metrics.on_prefill_admit(AdmitReason::SwapIn, tokens);
                         continue;
                     }
                     let t = pool.get(idx).prefill_tokens();
@@ -412,6 +421,7 @@ impl TdPipeEngine {
                             admitted,
                         },
                     );
+                    metrics.on_prefill_stop(pack_stop);
                     break 'prefill;
                 }
                 admitted_any = true;
@@ -426,6 +436,7 @@ impl TdPipeEngine {
                     SegmentKind::Prefill,
                     PREFILL_TAG + prefill_seq,
                 );
+                metrics.on_prefill_batch(batch.len(), batch_tokens as u64);
                 let start = prefill_members.len();
                 prefill_members.extend_from_slice(&batch);
                 prefill_meta.push((start, prefill_members.len(), alloc.occupancy()));
@@ -436,7 +447,7 @@ impl TdPipeEngine {
                     next_seq += 1;
                     residents.push(idx);
                     admitted += 1;
-                    if journal.is_enabled() {
+                    if journal.is_enabled() || metrics.is_enabled() {
                         let s = pool.get(idx);
                         let reason = if s.evictions > 0 {
                             AdmitReason::Recompute
@@ -451,6 +462,7 @@ impl TdPipeEngine {
                                 reason,
                             },
                         );
+                        metrics.on_prefill_admit(reason, t as u64);
                     }
                 }
                 journal.record(
@@ -460,6 +472,7 @@ impl TdPipeEngine {
                         admitted,
                     },
                 );
+                metrics.on_prefill_stop(pack_stop);
             }
             // Collect this phase's prefill completions: first-token stamps
             // and Fig. 12 occupancy samples.
@@ -473,6 +486,7 @@ impl TdPipeEngine {
                 if e.record_occupancy {
                     occupancy.push(finish, occ, Phase::Prefill);
                 }
+                metrics.sample(finish, occ, 0, 0, pending.len());
                 prefill_exec_end = prefill_exec_end.max(finish);
             }
             now += launched as f64 * e.engine_overhead;
@@ -517,6 +531,10 @@ impl TdPipeEngine {
                     to: Phase::Decode,
                 },
             );
+            // Metrics-side phase close-out lives *after* the idle
+            // fast-forward `continue` above, mirroring the journal: the
+            // popped empty prefill record never reaches the registry.
+            metrics.on_phase_end(Phase::Prefill, phases[phases.len() - 1].start, prefill_exec_end);
             // Partition in admission order (§3.4: equal batches, one per GPU).
             residents.sort_by_key(|&i| admission_seq[i]);
             let mut batches = partition_even(&residents, n_stages);
@@ -541,6 +559,7 @@ impl TdPipeEngine {
                 self.cost.decode_job_into(b.len(), batch_ctx[bid], &mut job);
                 let ready = now + inflight.len() as f64 * e.engine_overhead;
                 sim.launch(ready, &job.exec, &job.xfer, SegmentKind::Decode, bid as u64);
+                metrics.on_decode_step(b.len());
                 inflight.push_back(bid);
             }
             // Context-token sum over the batches currently stored in
@@ -645,6 +664,7 @@ impl TdPipeEngine {
                             victim: pool.get(victim).id.0,
                         },
                     );
+                    metrics.on_evict(mode);
                     pending.push_front(victim);
                     // `idx` may have been the victim; the `evicted` check at
                     // the loop head re-routes, otherwise retry this slot.
@@ -683,6 +703,7 @@ impl TdPipeEngine {
                             },
                         );
                     }
+                    metrics.on_steal(moved.withheld, moved.supplemented);
                 }
                 if e.record_occupancy {
                     occupancy.push(now, alloc.occupancy(), Phase::Decode);
@@ -719,6 +740,7 @@ impl TdPipeEngine {
                                     switch: scores.switch,
                                 },
                             );
+                            metrics.on_switch_decision(scores.spatial, scores.temporal);
                             scores.switch
                         }
                         D2pPolicy::FixedFinishRatio(r) => {
@@ -746,6 +768,7 @@ impl TdPipeEngine {
                     self.cost.decode_job_into(b.len(), ctx, &mut job);
                     let ready = ctrl.process(now, b.len());
                     sim.launch(ready, &job.exec, &job.xfer, SegmentKind::Decode, bid as u64);
+                    metrics.on_decode_step(b.len());
                     inflight.push_back(bid);
                 }
             }
@@ -764,6 +787,7 @@ impl TdPipeEngine {
                 work_items: decode_steps,
                 finished: finished_this_phase,
             });
+            metrics.on_phase_end(Phase::Decode, phase_t0, now);
             if !pool.all_finished() {
                 phase_switches += 1; // decode → prefill
                 journal.record(
@@ -781,6 +805,7 @@ impl TdPipeEngine {
         }
 
         pool.assert_conserved();
+        let plane = sim.plane_stats();
         let (makespan, timeline) = sim.try_finish()?;
         // Device tracks for the Chrome export (only materialise when the
         // executor kept segments, i.e. `record_timeline` was on too).
@@ -797,12 +822,20 @@ impl TdPipeEngine {
             mean_utilization: timeline.mean_utilization(),
             latency: pool.latency_summary(),
         };
+        let metrics = metrics.finish(
+            &report,
+            alloc.stats(),
+            self.plan.kv_blocks,
+            &timeline,
+            plane,
+        );
         Ok(RunOutcome {
             report,
             timeline,
             occupancy,
             phases,
             journal,
+            metrics,
         })
     }
 

@@ -45,6 +45,17 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Execution-plane statistics exported into the metrics plane.
+///
+/// Collected by the engine just before `try_finish` (which consumes the
+/// executor), so a plane accumulates them live instead of at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaneStats {
+    /// High-water mark of the completion-queue depth: the most jobs that
+    /// were ever launched-but-uncollected at once.
+    pub queue_depth_high_water: usize,
+}
+
 /// An execution plane: something that runs staged pipeline jobs.
 ///
 /// Completions are reported strictly in launch order (guaranteed by FIFO
@@ -88,12 +99,20 @@ pub trait PipelineExecutor {
     fn try_finish(self: Box<Self>) -> Result<(f64, Timeline), ExecError> {
         Ok(self.finish())
     }
+
+    /// Plane-side statistics for the metrics plane. The engine reads them
+    /// once, right before finishing; planes that track nothing use this
+    /// zeroed default.
+    fn plane_stats(&self) -> PlaneStats {
+        PlaneStats::default()
+    }
 }
 
 /// The deterministic simulator as an execution plane.
 pub struct SimExecutor {
     sim: PipelineSim,
     completions: std::collections::VecDeque<(u64, f64)>,
+    depth_hw: usize,
 }
 
 impl SimExecutor {
@@ -102,6 +121,7 @@ impl SimExecutor {
         SimExecutor {
             sim: PipelineSim::new(num_stages, mode, record_timeline),
             completions: std::collections::VecDeque::new(),
+            depth_hw: 0,
         }
     }
 }
@@ -110,6 +130,7 @@ impl PipelineExecutor for SimExecutor {
     fn launch(&mut self, ready: f64, exec: &[f64], xfer: &[f64], kind: SegmentKind, tag: u64) {
         let t = self.sim.launch(ready, exec, xfer, kind, tag);
         self.completions.push_back((tag, t.finish));
+        self.depth_hw = self.depth_hw.max(self.completions.len());
     }
 
     fn next_completion(&mut self) -> (u64, f64) {
@@ -127,6 +148,12 @@ impl PipelineExecutor for SimExecutor {
     fn finish(self: Box<Self>) -> (f64, Timeline) {
         let drained = self.sim.drained_at();
         (drained, self.sim.into_timeline())
+    }
+
+    fn plane_stats(&self) -> PlaneStats {
+        PlaneStats {
+            queue_depth_high_water: self.depth_hw,
+        }
     }
 }
 

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod exec;
 pub mod greedy;
 pub mod intensity;
+pub mod metrics;
 pub mod plan;
 pub mod request;
 pub mod steal;

@@ -220,16 +220,27 @@ impl RequestPool {
         }
         let mut ttft = Vec::with_capacity(self.len());
         let mut done = Vec::with_capacity(self.len());
+        let mut tpot = Vec::with_capacity(self.len());
         for s in &self.states {
             if s.first_token_at.is_nan() || s.finished_at.is_nan() {
                 return None;
             }
             ttft.push(s.first_token_at - s.arrival);
             done.push(s.finished_at - s.arrival);
+            // Time per output token: the decode span divided by the tokens
+            // generated after the first (a single-token request decodes
+            // nothing further and contributes 0).
+            tpot.push(
+                (s.finished_at - s.first_token_at) / (s.output_len.max(2) - 1) as f64,
+            );
         }
         Some(LatencySummary {
             ttft_mean: ttft.iter().sum::<f64>() / ttft.len() as f64,
+            ttft_p50: percentile(&ttft, 50.0),
+            ttft_p95: percentile(&ttft, 95.0),
             ttft_p99: percentile(&ttft, 99.0),
+            tpot_p50: percentile(&tpot, 50.0),
+            tpot_p95: percentile(&tpot, 95.0),
             completion_mean: done.iter().sum::<f64>() / done.len() as f64,
             completion_p50: percentile(&done, 50.0),
             completion_p99: percentile(&done, 99.0),
@@ -349,7 +360,18 @@ mod tests {
         // second's first token appeared at t = 11 absolute. A t=0-relative
         // summary would report a mean of (1 + 11) / 2 = 6.
         assert!((s.ttft_mean - 1.0).abs() < 1e-12, "ttft {}", s.ttft_mean);
+        assert!((s.ttft_p50 - 1.0).abs() < 1e-12);
+        assert!((s.ttft_p95 - 1.0).abs() < 1e-12);
         assert!((s.ttft_p99 - 1.0).abs() < 1e-12);
+        // One token per virtual second: the decode span is `output_len`
+        // seconds over `max(output_len, 2) - 1` post-first tokens, so
+        // every per-request TPOT sits in [1, 2] and is arrival-independent.
+        assert!(
+            s.tpot_p50 >= 1.0 - 1e-12 && s.tpot_p50 <= 2.0 + 1e-12,
+            "tpot p50 {}",
+            s.tpot_p50
+        );
+        assert!(s.tpot_p95 >= s.tpot_p50);
         // finished_at lands at arrival + 1 + output_len.
         let mean_expect = (0..2)
             .map(|i| 1.0 + p.get(i).output_len as f64)

@@ -39,6 +39,42 @@ struct Residency {
     blocks: u64,
 }
 
+/// Lifetime operation counts and the occupancy high-water mark,
+/// maintained unconditionally (plain integer adds — the allocator never
+/// branches on them, so they cannot perturb a schedule). The metrics
+/// plane exports them when `record_metrics` is on; eviction counts are
+/// engine-level (the allocator cannot distinguish an eviction `free` from
+/// a completion `free`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocStats {
+    /// Successful `allocate` calls.
+    pub allocs: u64,
+    /// Successful `free` calls.
+    pub frees: u64,
+    /// Successful `extend` calls.
+    pub extends: u64,
+    /// `extend`/`allocate` calls rejected with `OutOfMemory`.
+    pub oom_rejections: u64,
+    /// Most blocks ever in use at once.
+    pub used_blocks_high_water: u64,
+}
+
+impl AllocStats {
+    /// Elementwise sum, for aggregating over disjoint per-lane pools.
+    /// High-water marks add too: the lanes' pools are disjoint, so their
+    /// peaks bound the combined peak from above (callers divide by the
+    /// *total* block count).
+    pub fn merged(self, other: AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs + other.allocs,
+            frees: self.frees + other.frees,
+            extends: self.extends + other.extends,
+            oom_rejections: self.oom_rejections + other.oom_rejections,
+            used_blocks_high_water: self.used_blocks_high_water + other.used_blocks_high_water,
+        }
+    }
+}
+
 /// A fixed pool of KV blocks with per-request accounting.
 ///
 /// `block_size` tokens fit in one block; a request holding `t` tokens owns
@@ -72,6 +108,8 @@ pub struct BlockAllocator {
     /// Sum of `tokens` over resident requests, maintained incrementally so
     /// `resident_tokens()`/`fragmentation()` stay O(1).
     resident_tokens: u64,
+    /// Lifetime operation counters (see [`AllocStats`]).
+    stats: AllocStats,
 }
 
 impl BlockAllocator {
@@ -88,6 +126,7 @@ impl BlockAllocator {
             residents: Vec::new(),
             num_residents: 0,
             resident_tokens: 0,
+            stats: AllocStats::default(),
         }
     }
 
@@ -152,6 +191,12 @@ impl BlockAllocator {
         tokens.div_ceil(self.block_size as u64)
     }
 
+    /// Lifetime operation counters and the occupancy high-water mark.
+    #[inline]
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
     /// Whether a new request of `tokens` tokens would fit right now.
     pub fn can_allocate(&self, tokens: u64) -> bool {
         self.blocks_for(tokens) <= self.free_blocks()
@@ -165,6 +210,7 @@ impl BlockAllocator {
         let needed = self.blocks_for(tokens);
         let available = self.free_blocks();
         if needed > available {
+            self.stats.oom_rejections += 1;
             return Err(KvError::OutOfMemory { needed, available });
         }
         let idx = id as usize;
@@ -174,6 +220,10 @@ impl BlockAllocator {
         self.used_blocks += needed;
         self.num_residents += 1;
         self.resident_tokens += tokens;
+        self.stats.allocs += 1;
+        if self.used_blocks > self.stats.used_blocks_high_water {
+            self.stats.used_blocks_high_water = self.used_blocks;
+        }
         self.residents[idx] = Some(Residency {
             tokens,
             blocks: needed,
@@ -195,6 +245,7 @@ impl BlockAllocator {
         let new_blocks = (r.tokens + additional).div_ceil(block_size);
         let extra = new_blocks - r.blocks;
         if extra > free {
+            self.stats.oom_rejections += 1;
             return Err(KvError::OutOfMemory {
                 needed: extra,
                 available: free,
@@ -204,6 +255,10 @@ impl BlockAllocator {
         r.blocks = new_blocks;
         self.used_blocks += extra;
         self.resident_tokens += additional;
+        self.stats.extends += 1;
+        if self.used_blocks > self.stats.used_blocks_high_water {
+            self.stats.used_blocks_high_water = self.used_blocks;
+        }
         Ok(())
     }
 
@@ -218,6 +273,7 @@ impl BlockAllocator {
         self.used_blocks -= r.blocks;
         self.num_residents -= 1;
         self.resident_tokens -= r.tokens;
+        self.stats.frees += 1;
         Ok(r.tokens)
     }
 
@@ -332,6 +388,22 @@ mod tests {
         assert!((a.fragmentation() - 15.0 / 32.0).abs() < 1e-12);
         a.extend(1, 15).unwrap(); // exactly fills both blocks
         assert_eq!(a.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn stats_count_operations_and_high_water() {
+        let mut a = BlockAllocator::new(4, 16);
+        a.allocate(1, 32).unwrap(); // 2 blocks
+        a.allocate(2, 32).unwrap(); // 4 blocks → high water
+        assert!(a.allocate(3, 16).is_err()); // OOM rejection
+        a.free(1).unwrap();
+        a.extend(2, 1).unwrap(); // opens a third block for id 2
+        let s = a.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.extends, 1);
+        assert_eq!(s.oom_rejections, 1);
+        assert_eq!(s.used_blocks_high_water, 4);
     }
 
     #[test]

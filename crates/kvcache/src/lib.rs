@@ -22,7 +22,7 @@
 pub mod allocator;
 pub mod usage;
 
-pub use allocator::{BlockAllocator, KvError};
+pub use allocator::{AllocStats, BlockAllocator, KvError};
 pub use usage::{OccupancySample, OccupancyTrace, Phase};
 
 #[cfg(test)]

@@ -1,0 +1,250 @@
+//! Snapshot diffing: the metrics-regression gate.
+//!
+//! `metrics-diff` compares a current [`MetricsSnapshot`] against a
+//! committed baseline under per-metric rules (direction + relative
+//! threshold). A gated metric that moves in the *bad* direction by more
+//! than its threshold — or disappears — is a regression and the CLI exits
+//! nonzero, ratcheting the paper's headline quantities the same way
+//! `analyzer.baseline.json` ratchets lint findings. Everything else is
+//! reported informationally so drift stays visible without blocking.
+
+use crate::snapshot::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Which direction of movement is an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Falling below baseline is a regression (throughput, utilization).
+    HigherIsBetter,
+    /// Rising above baseline is a regression (makespan, overhead).
+    LowerIsBetter,
+}
+
+/// A gating rule for one scalar metric (counter or unlabelled gauge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffRule {
+    /// Metric name (matched among unlabelled entries).
+    pub metric: String,
+    pub direction: Direction,
+    /// Maximum tolerated relative movement in the bad direction
+    /// (`0.02` = 2%).
+    pub rel_tol: f64,
+}
+
+impl DiffRule {
+    pub fn new(metric: &str, direction: Direction, rel_tol: f64) -> Self {
+        DiffRule {
+            metric: metric.to_string(),
+            direction,
+            rel_tol,
+        }
+    }
+}
+
+/// The default gate: the paper's headline quantities, each with a 2%
+/// relative budget — tight enough that the acceptance scenario (a 5%
+/// throughput drop) fails, loose enough to absorb benign refactors that
+/// shuffle no work.
+pub fn default_rules() -> Vec<DiffRule> {
+    vec![
+        DiffRule::new("throughput_total", Direction::HigherIsBetter, 0.02),
+        DiffRule::new("throughput_output", Direction::HigherIsBetter, 0.02),
+        DiffRule::new("mean_utilization", Direction::HigherIsBetter, 0.02),
+        DiffRule::new("makespan", Direction::LowerIsBetter, 0.02),
+        DiffRule::new("recompute_overhead", Direction::LowerIsBetter, 0.05),
+    ]
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffFinding {
+    pub metric: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Signed relative change `(current - baseline) / |baseline|`
+    /// (0 when the baseline is 0 and the value is unchanged).
+    pub rel_change: f64,
+    /// True when a rule gates this metric.
+    pub gated: bool,
+    /// True when the gated movement exceeds its threshold (or the metric
+    /// vanished from the current snapshot).
+    pub regression: bool,
+}
+
+/// Outcome of a snapshot diff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    pub findings: Vec<DiffFinding>,
+    pub regressions: usize,
+}
+
+impl DiffReport {
+    pub fn is_clean(&self) -> bool {
+        self.regressions == 0
+    }
+}
+
+fn rel_change(baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * current.signum()
+        }
+    } else {
+        (current - baseline) / baseline.abs()
+    }
+}
+
+/// Compare `current` against `baseline`.
+///
+/// Every gated metric produces a finding (a missing one is a regression);
+/// ungated scalar metrics that changed are reported informationally.
+/// Findings are sorted: regressions first, then by metric name.
+pub fn diff_snapshots(
+    baseline: &MetricsSnapshot,
+    current: &MetricsSnapshot,
+    rules: &[DiffRule],
+) -> DiffReport {
+    let mut findings = Vec::new();
+
+    for rule in rules {
+        let base = baseline.scalar(&rule.metric);
+        let cur = current.scalar(&rule.metric);
+        let (base, cur, missing) = match (base, cur) {
+            (Some(b), Some(c)) => (b, c, false),
+            (Some(b), None) => (b, 0.0, true),
+            // Not in the baseline: nothing to ratchet against yet.
+            (None, _) => continue,
+        };
+        let rel = rel_change(base, cur);
+        let bad = match rule.direction {
+            Direction::HigherIsBetter => -rel,
+            Direction::LowerIsBetter => rel,
+        };
+        findings.push(DiffFinding {
+            metric: rule.metric.clone(),
+            baseline: base,
+            current: cur,
+            rel_change: rel,
+            gated: true,
+            regression: missing || bad > rule.rel_tol,
+        });
+    }
+
+    // Informational pass over ungated scalars present in both snapshots.
+    for entry in &baseline.metrics {
+        if !entry.labels.is_empty() {
+            continue;
+        }
+        if rules.iter().any(|r| r.metric == entry.name) {
+            continue;
+        }
+        let (base, cur) = match (
+            baseline.scalar(&entry.name),
+            current.scalar(&entry.name),
+        ) {
+            (Some(b), Some(c)) => (b, c),
+            _ => continue,
+        };
+        if base != cur {
+            findings.push(DiffFinding {
+                metric: entry.name.clone(),
+                baseline: base,
+                current: cur,
+                rel_change: rel_change(base, cur),
+                gated: false,
+                regression: false,
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        b.regression
+            .cmp(&a.regression)
+            .then_with(|| a.metric.cmp(&b.metric))
+    });
+    let regressions = findings.iter().filter(|f| f.regression).count();
+    DiffReport {
+        findings,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn snap(throughput: f64, makespan: f64) -> MetricsSnapshot {
+        let mut r = Registry::new();
+        let t = r.gauge("throughput_total", "tok/s", &[]);
+        let m = r.gauge("makespan", "s", &[]);
+        let extra = r.counter("evict_total", "evictions", &[]);
+        r.set(t, throughput);
+        r.set(m, makespan);
+        r.add(extra, (makespan as u64).max(1));
+        r.snapshot()
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let s = snap(1000.0, 50.0);
+        let report = diff_snapshots(&s, &s, &default_rules());
+        assert!(report.is_clean());
+        assert!(report.findings.iter().all(|f| !f.regression));
+    }
+
+    #[test]
+    fn five_percent_throughput_drop_regresses() {
+        let base = snap(1000.0, 50.0);
+        let cur = snap(950.0, 50.0);
+        let report = diff_snapshots(&base, &cur, &default_rules());
+        assert_eq!(report.regressions, 1);
+        let f = &report.findings[0];
+        assert_eq!(f.metric, "throughput_total");
+        assert!(f.regression);
+        assert!((f.rel_change + 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let base = snap(1000.0, 50.0);
+        let cur = snap(1100.0, 40.0);
+        assert!(diff_snapshots(&base, &cur, &default_rules()).is_clean());
+    }
+
+    #[test]
+    fn makespan_rise_regresses() {
+        let base = snap(1000.0, 50.0);
+        let cur = snap(1000.0, 55.0);
+        let report = diff_snapshots(&base, &cur, &default_rules());
+        assert_eq!(report.regressions, 1);
+        assert_eq!(report.findings[0].metric, "makespan");
+    }
+
+    #[test]
+    fn missing_gated_metric_regresses() {
+        let base = snap(1000.0, 50.0);
+        let report = diff_snapshots(&base, &MetricsSnapshot::empty(), &default_rules());
+        assert!(report.regressions >= 2);
+    }
+
+    #[test]
+    fn ungated_drift_is_informational() {
+        let base = snap(1000.0, 50.0);
+        let cur = snap(1000.0, 50.4); // within makespan tolerance
+        let report = diff_snapshots(&base, &cur, &default_rules());
+        assert!(report.is_clean());
+        // evict_total differs (50 vs 50) — actually equal; makespan gated.
+        // Force an ungated drift:
+        let cur2 = snap(1000.0, 99.0); // evict_total differs too
+        let report2 = diff_snapshots(&base, &cur2, &default_rules());
+        let evict = report2
+            .findings
+            .iter()
+            .find(|f| f.metric == "evict_total")
+            .expect("ungated drift reported");
+        assert!(!evict.gated && !evict.regression);
+    }
+}

@@ -1,0 +1,126 @@
+//! Log2-bucketed histogram with a fixed bucket ladder.
+//!
+//! Every histogram in the registry shares one ladder: powers of two from
+//! 2⁻²⁰ (≈ 1 µs of virtual time) to 2²⁰ (≈ 1.05 M — tokens, seconds, batch
+//! slots), plus a `+Inf` terminal bucket. A fixed ladder keeps snapshots
+//! comparable across runs and code versions — `metrics-diff` never has to
+//! reconcile bucket boundaries — and powers of two are exactly
+//! representable in `f64`, so bucket assignment is bit-stable.
+
+/// Smallest finite bucket exponent (bound = 2^MIN_EXP).
+const MIN_EXP: i32 = -20;
+/// Largest finite bucket exponent (bound = 2^MAX_EXP).
+const MAX_EXP: i32 = 20;
+/// Number of finite buckets on the ladder.
+const FINITE: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+/// Total buckets including the `+Inf` terminal.
+pub const NUM_BUCKETS: usize = FINITE + 1;
+
+/// The finite upper bounds of the ladder, ascending.
+pub fn bucket_bounds() -> Vec<f64> {
+    (0..FINITE as i32).map(|i| 2.0f64.powi(MIN_EXP + i)).collect()
+}
+
+/// Index of the bucket whose upper bound is the first `>= v`
+/// (`le`-style, matching Prometheus cumulative-bucket semantics).
+fn bucket_index(v: f64) -> usize {
+    let mut bound = 2.0f64.powi(MIN_EXP);
+    for i in 0..FINITE {
+        if v <= bound {
+            return i;
+        }
+        bound *= 2.0;
+    }
+    FINITE // +Inf
+}
+
+/// Raw histogram state: per-bucket (non-cumulative) counts, sum, count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistData {
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl HistData {
+    pub fn new() -> Self {
+        HistData {
+            counts: vec![0; NUM_BUCKETS],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation. Observations must be finite-or-infinite
+    /// non-negative reals; NaN would break total ordering of snapshots and
+    /// is rejected outright.
+    pub fn observe(&mut self, v: f64) {
+        assert!(!v.is_nan(), "histogram observation must not be NaN");
+        assert!(v >= 0.0, "histogram observation must be non-negative: {v}");
+        self.counts[bucket_index(v)] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Per-bucket counts (non-cumulative), `+Inf` bucket last.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_fixed_and_ascending() {
+        let b = bucket_bounds();
+        assert_eq!(b.len(), NUM_BUCKETS - 1);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b[0], 2.0f64.powi(-20));
+        assert_eq!(*b.last().unwrap(), 1_048_576.0);
+    }
+
+    #[test]
+    fn observations_land_in_le_buckets() {
+        let mut h = HistData::new();
+        h.observe(0.0); // below the smallest bound → bucket 0
+        h.observe(1.0); // exactly 2^0 → the `le="1"` bucket
+        h.observe(1.5); // → the `le="2"` bucket
+        h.observe(2e6); // beyond the ladder → +Inf
+        let bounds = bucket_bounds();
+        let one = bounds.iter().position(|&b| b == 1.0).unwrap();
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[one], 1);
+        assert_eq!(h.counts()[one + 1], 1);
+        assert_eq!(h.counts()[NUM_BUCKETS - 1], 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 0.0 + 1.0 + 1.5 + 2e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_observation_is_rejected() {
+        HistData::new().observe(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_observation_is_rejected() {
+        HistData::new().observe(-1.0);
+    }
+}

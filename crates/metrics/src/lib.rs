@@ -1,0 +1,42 @@
+//! Deterministic metrics plane for the TD-Pipe reproduction.
+//!
+//! The paper evaluates its scheduling policy entirely through quantitative
+//! aggregates — utilization, tokens/s, KV usage over time, switch counts
+//! (§4, Figs. 11–16). This crate turns those quantities into first-class,
+//! regression-gated telemetry instead of per-figure one-off accounting:
+//!
+//! - [`Registry`] hands out typed [`Counter`] / [`Gauge`] / [`HistogramId`]
+//!   handles keyed by metric name + sorted label set. Hot-path updates are a
+//!   single enabled-branch plus a `Vec` index — a disabled registry is a
+//!   single-branch no-op, exactly like the PR 4 flight recorder.
+//! - [`MetricsSnapshot`] is the canonical export: metrics sorted by
+//!   `(name, labels)`, so serializing the same run twice yields the same
+//!   bytes. [`to_prom`] renders the snapshot in the Prometheus text
+//!   exposition format and [`validate_prom`] checks an exposition file the
+//!   way `validate_chrome_trace` checks a Chrome trace.
+//! - [`SeriesSampler`] records configured gauges on a fixed *virtual-time*
+//!   grid — no wall clocks anywhere, so series are bit-stable too.
+//! - [`diff_snapshots`] compares two snapshots under per-metric direction +
+//!   relative-threshold rules; `scripts/ci.sh` runs it against the committed
+//!   `metrics.baseline.json` the same way `analyzer.baseline.json` ratchets
+//!   lint findings.
+//!
+//! Determinism contract: values are `u64` or total-ordered `f64` (NaN is
+//! rejected at the observation site), all iteration is over sorted
+//! structures, and nothing in this crate reads a clock.
+
+#![forbid(unsafe_code)]
+
+mod diff;
+mod histogram;
+mod prom;
+mod registry;
+mod series;
+mod snapshot;
+
+pub use diff::{default_rules, diff_snapshots, DiffFinding, DiffReport, DiffRule, Direction};
+pub use histogram::{bucket_bounds, HistData, NUM_BUCKETS};
+pub use prom::{to_prom, validate_prom, PromCheck};
+pub use registry::{Counter, Gauge, HistogramId, Registry};
+pub use series::{SeriesSampler, DEFAULT_INTERVAL};
+pub use snapshot::{MetricEntry, MetricValue, MetricsSnapshot, Series, SeriesPoint};

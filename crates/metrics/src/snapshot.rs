@@ -1,0 +1,135 @@
+//! The canonical metrics export: a sorted, serde-serializable snapshot.
+//!
+//! A snapshot is the *only* way metrics leave the registry — both the JSON
+//! and the Prometheus exporters render it — so byte-stability is enforced
+//! in exactly one place: entries are sorted by `(name, labels)` and series
+//! by name at construction time, and label sets are `BTreeMap`s so their
+//! serialization order is the sort order.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One exported metric: identity, kind, and current value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricEntry {
+    /// Prometheus-charset metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// One-line HELP text.
+    pub help: String,
+    /// Sorted label set (may be empty).
+    pub labels: BTreeMap<String, String>,
+    /// Current value, tagged by metric kind.
+    pub value: MetricValue,
+}
+
+/// A metric's value, tagged by kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Monotone event count.
+    Counter(u64),
+    /// Point-in-time value (total-ordered `f64`, never NaN).
+    Gauge(f64),
+    /// Log2-ladder histogram: per-bucket (non-cumulative) counts with the
+    /// `+Inf` bucket last, plus sum and count.
+    Histogram {
+        buckets: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+/// One virtual-time sample point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Virtual timestamp (seconds) on the sampler's fixed grid.
+    pub t: f64,
+    /// Gauge value at that instant.
+    pub v: f64,
+}
+
+/// A named virtual-time series recorded by the sampler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Full export of a run's metrics: sorted entries + sampled series.
+///
+/// Byte-stable: serializing the snapshot of two identical runs yields
+/// identical bytes (pinned in `tests/metrics_export.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub metrics: Vec<MetricEntry>,
+    pub series: Vec<Series>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot — what a disabled registry exports.
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            metrics: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty() && self.series.is_empty()
+    }
+
+    /// Look up a metric by name among entries without labels.
+    pub fn get(&self, name: &str) -> Option<&MetricEntry> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels.is_empty())
+    }
+
+    /// Look up a metric by name + exact label set.
+    pub fn get_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricEntry> {
+        let want: BTreeMap<String, String> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == want)
+    }
+
+    /// Scalar value of an unlabelled counter/gauge, if present.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        match self.get(name)?.value {
+            MetricValue::Counter(c) => Some(c as f64),
+            MetricValue::Gauge(g) => Some(g),
+            MetricValue::Histogram { .. } => None,
+        }
+    }
+
+    /// Combine two snapshots (e.g. an engine run's and a side-channel
+    /// exporter's), restoring the `(name, labels)` sort order so the
+    /// byte-stability contract survives the merge.
+    ///
+    /// # Panics
+    /// Panics if the two snapshots share a `(name, labels)` key — merged
+    /// sources must export disjoint metric sets.
+    pub fn merged(mut self, other: MetricsSnapshot) -> MetricsSnapshot {
+        self.metrics.extend(other.metrics);
+        self.metrics
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        for w in self.metrics.windows(2) {
+            assert!(
+                (&w[0].name, &w[0].labels) != (&w[1].name, &w[1].labels),
+                "merged snapshots must not share metric {}",
+                w[0].name
+            );
+        }
+        self.series.extend(other.series);
+        self.series.sort_by(|a, b| a.name.cmp(&b.name));
+        self
+    }
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}

@@ -125,6 +125,31 @@ impl ConfusionMatrix {
     pub fn counts(&self) -> &[Vec<u64>] {
         &self.counts
     }
+
+    /// Export per-bucket hit/miss counters for the metrics plane: a hit
+    /// is a diagonal entry (predicted bucket == true bucket), a miss is
+    /// the rest of that true bucket's row.
+    pub fn to_metrics(&self) -> tdpipe_metrics::MetricsSnapshot {
+        let mut reg = tdpipe_metrics::Registry::new();
+        for b in 0..self.num_buckets() {
+            let bucket = b.to_string();
+            let row: u64 = self.counts[b].iter().sum();
+            let hit = self.counts[b][b];
+            let c = reg.counter(
+                "predictor_bucket_hit_total",
+                "Correct bucket predictions by true bucket",
+                &[("bucket", &bucket)],
+            );
+            reg.add(c, hit);
+            let c = reg.counter(
+                "predictor_bucket_miss_total",
+                "Wrong bucket predictions by true bucket",
+                &[("bucket", &bucket)],
+            );
+            reg.add(c, row - hit);
+        }
+        reg.snapshot()
+    }
 }
 
 impl std::fmt::Display for ConfusionMatrix {
@@ -218,6 +243,37 @@ mod tests {
         }
         // Display renders.
         assert!(m.to_string().contains("recall"));
+    }
+
+    #[test]
+    fn to_metrics_counters_tally_the_matrix() {
+        let (p, test) = fitted();
+        let m = ConfusionMatrix::compute(&p, &test);
+        let snap = m.to_metrics();
+        let count = |name: &str, b: usize| {
+            match snap
+                .get_labeled(name, &[("bucket", &b.to_string())])
+                .unwrap_or_else(|| panic!("{name} bucket {b}"))
+                .value
+            {
+                tdpipe_metrics::MetricValue::Counter(c) => c,
+                _ => panic!("bucket counters are counters"),
+            }
+        };
+        let mut hits = 0u64;
+        let mut total = 0u64;
+        for b in 0..m.num_buckets() {
+            let (h, miss) = (
+                count("predictor_bucket_hit_total", b),
+                count("predictor_bucket_miss_total", b),
+            );
+            assert_eq!(h, m.counts()[b][b]);
+            hits += h;
+            total += h + miss;
+        }
+        // Summed counters reproduce accuracy and the trace size.
+        assert_eq!(total as usize, test.len());
+        assert!((hits as f64 / total as f64 - m.accuracy()).abs() < 1e-12);
     }
 
     #[test]

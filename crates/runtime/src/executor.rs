@@ -21,7 +21,7 @@ use crate::error::RuntimeError;
 use crate::worker::WorkerLog;
 use std::collections::VecDeque;
 use std::time::Duration;
-use tdpipe_core::exec::{ExecError, ExecErrorKind, PipelineExecutor};
+use tdpipe_core::exec::{ExecError, ExecErrorKind, PipelineExecutor, PlaneStats};
 use tdpipe_sim::{SegmentKind, Timeline, TransferMode};
 
 impl From<RuntimeError> for ExecError {
@@ -49,6 +49,8 @@ pub struct ThreadedExecutor {
     /// guarantees; a mismatch means a stage message was lost.
     expected: VecDeque<u64>,
     last_finish: f64,
+    /// High-water mark of jobs in flight, for the metrics plane.
+    depth_hw: usize,
     record_timeline: bool,
     completion_timeout: Duration,
     shutdown_deadline: Duration,
@@ -83,6 +85,7 @@ impl ThreadedExecutor {
             outstanding: 0,
             expected: VecDeque::new(),
             last_finish: 0.0,
+            depth_hw: 0,
             record_timeline,
             completion_timeout,
             shutdown_deadline,
@@ -128,11 +131,13 @@ impl PipelineExecutor for ThreadedExecutor {
         if self.error.is_some() {
             // Sink: the failure is reported from the completion path.
             self.outstanding += 1;
+            self.depth_hw = self.depth_hw.max(self.outstanding);
             return;
         }
         let Some(cluster) = self.cluster.as_mut() else {
             self.error = Some(Self::use_after_finish());
             self.outstanding += 1;
+            self.depth_hw = self.depth_hw.max(self.outstanding);
             return;
         };
         let result = cluster.launch(JobSpec {
@@ -148,6 +153,7 @@ impl PipelineExecutor for ThreadedExecutor {
             self.expected.push_back(tag);
         }
         self.outstanding += 1;
+        self.depth_hw = self.depth_hw.max(self.outstanding);
     }
 
     fn next_completion(&mut self) -> (u64, f64) {
@@ -193,6 +199,12 @@ impl PipelineExecutor for ThreadedExecutor {
 
     fn outstanding(&self) -> usize {
         self.outstanding
+    }
+
+    fn plane_stats(&self) -> PlaneStats {
+        PlaneStats {
+            queue_depth_high_water: self.depth_hw,
+        }
     }
 
     fn finish(self: Box<Self>) -> (f64, Timeline) {

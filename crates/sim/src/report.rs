@@ -17,8 +17,17 @@ pub struct LatencySummary {
     /// Mean time from a request's arrival to its first generated token
     /// (seconds).
     pub ttft_mean: f64,
+    /// Median time to first token.
+    pub ttft_p50: f64,
+    /// 95th percentile of time to first token.
+    pub ttft_p95: f64,
     /// 99th percentile of time to first token.
     pub ttft_p99: f64,
+    /// Median time per output token (per-request completion-minus-first-
+    /// token time divided by its remaining tokens).
+    pub tpot_p50: f64,
+    /// 95th percentile time per output token.
+    pub tpot_p95: f64,
     /// Mean time from a request's arrival to its completion.
     pub completion_mean: f64,
     /// Median completion time.
@@ -95,7 +104,18 @@ impl std::fmt::Display for RunReport {
             self.mean_utilization * 100.0,
             self.phase_switches,
             self.recompute_overhead() * 100.0,
-        )
+        )?;
+        if let Some(l) = &self.latency {
+            write!(
+                f,
+                "  TTFT p50/p95 {:.2}/{:.2}s  TPOT p50/p95 {:.0}/{:.0}ms",
+                l.ttft_p50,
+                l.ttft_p95,
+                l.tpot_p50 * 1e3,
+                l.tpot_p95 * 1e3,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -137,5 +157,26 @@ mod tests {
     #[test]
     fn display_is_one_line() {
         assert_eq!(report().to_string().lines().count(), 1);
+    }
+
+    #[test]
+    fn display_appends_latency_clause_when_tracked() {
+        let mut r = report();
+        assert!(!r.to_string().contains("TTFT"));
+        r.latency = Some(LatencySummary {
+            ttft_mean: 1.0,
+            ttft_p50: 0.8,
+            ttft_p95: 2.5,
+            ttft_p99: 3.0,
+            tpot_p50: 0.040,
+            tpot_p95: 0.090,
+            completion_mean: 5.0,
+            completion_p50: 4.0,
+            completion_p99: 9.0,
+        });
+        let s = r.to_string();
+        assert_eq!(s.lines().count(), 1, "still one line: {s}");
+        assert!(s.contains("TTFT p50/p95 0.80/2.50s"), "{s}");
+        assert!(s.contains("TPOT p50/p95 40/90ms"), "{s}");
     }
 }

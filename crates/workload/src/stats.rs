@@ -176,6 +176,34 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_sorted_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample_at_every_p() {
+        // rank = p/100 * 0 = 0 for all p, so lo == hi == 0: no
+        // interpolation path and no out-of-bounds `hi`.
+        for p in [0.0, 13.7, 50.0, 100.0] {
+            assert_eq!(percentile(&[42.5], p), 42.5, "p={p}");
+            assert_eq!(percentile_sorted(&[42.5], p), 42.5, "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_endpoints_are_exact_order_statistics() {
+        // p=0 and p=100 must return min/max exactly — a rank of
+        // (len-1).0 must not index one past the end.
+        let v = [3.0, -1.0, 7.0, 7.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), -1.0);
+        assert_eq!(percentile(&v, 100.0), 7.0);
+        // Duplicates at the top: interpolation between equal order
+        // statistics stays exact.
+        assert_eq!(percentile(&v, 90.0), 7.0);
+    }
+
+    #[test]
     #[should_panic(expected = "not representable")]
     fn field_stats_reject_nan_max() {
         // The old fold(0.0, f64::max) swallowed NaN silently; the

@@ -8,6 +8,12 @@
 #   4. bit-identical smoke diff against the committed Fig. 11 snapshot
 #   5. flight-recorder smoke: a traced CLI run whose Chrome-trace export
 #      must pass the schema validator
+#   6. metrics-regression gate: a metered 200-request run diffed against
+#      the committed metrics.baseline.json (nonzero exit = a gated
+#      headline metric drifted beyond its per-metric tolerance; refresh
+#      the baseline deliberately when a change is intentional:
+#        target/release/tdpipe-cli run --scheduler td --requests 200 \
+#          --metrics-out metrics.baseline.json)
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -34,4 +40,10 @@ target/release/tdpipe-cli run --scheduler td --requests 200 \
   --trace-out "$trace_tmp/run.trace.json"
 target/release/tdpipe-cli validate-trace --file "$trace_tmp/run.trace.json"
 
-printf '\nci OK: build + tests + smoke + trace export all green\n'
+step "metrics-regression gate (vs committed baseline)"
+target/release/tdpipe-cli run --scheduler td --requests 200 \
+  --metrics-out "$trace_tmp/run.metrics.json"
+target/release/tdpipe-cli metrics-diff \
+  --baseline metrics.baseline.json --current "$trace_tmp/run.metrics.json"
+
+printf '\nci OK: build + tests + smoke + trace export + metrics gate all green\n'

@@ -3,6 +3,8 @@
 //! ```text
 //! tdpipe-cli run   --model 32b --node a100 --gpus 4 --scheduler td --requests 2000
 //! tdpipe-cli run   --scheduler td --requests 500 --trace-out run.trace.json
+//! tdpipe-cli run   --scheduler td --requests 200 --metrics-out run.metrics.json
+//! tdpipe-cli metrics-diff --baseline metrics.baseline.json --current run.metrics.json
 //! tdpipe-cli plan  --model 70b --node l20 --gpus 4
 //! tdpipe-cli trace --requests 5000 --seed 42
 //! tdpipe-cli trace-summary --model 13b --requests 500
@@ -19,8 +21,10 @@ use tdpipe::baselines::{PpHbEngine, PpSbEngine, TpHbEngine, TpSbEngine};
 use tdpipe::core::config::EngineConfig;
 use tdpipe::core::{TdPipeConfig, TdPipeEngine};
 use tdpipe::hw::NodeSpec;
+use tdpipe::metrics::{default_rules, diff_snapshots, to_prom, MetricsSnapshot};
 use tdpipe::model::ModelSpec;
 use tdpipe::predictor::classifier::TrainConfig;
+use tdpipe::predictor::eval::ConfusionMatrix;
 use tdpipe::predictor::{LengthPredictor, OraclePredictor, OutputLenPredictor};
 use tdpipe::sim::RunReport;
 use tdpipe::trace::{chrome_trace, decision_table, validate_chrome_trace};
@@ -34,6 +38,10 @@ USAGE:
                    [--scheduler td|tp-sb|tp-hb|pp-sb|pp-hb]
                    [--requests N] [--seed S] [--predictor oracle|trained]
                    [--trace-out PATH]   (td only: Chrome-trace JSON export)
+                   [--metrics-out PATH] (metrics snapshot, JSON)
+                   [--prom-out PATH]    (metrics snapshot, Prometheus text)
+  tdpipe-cli metrics-diff --baseline PATH --current PATH [--threshold T]
+                   (exit 1 when a gated metric regressed beyond tolerance)
   tdpipe-cli plan  [--model ...] [--node ...] [--gpus N]
   tdpipe-cli trace [--requests N] [--seed S]
   tdpipe-cli trace-summary  [--model ...] [--node ...] [--gpus N]
@@ -103,30 +111,48 @@ fn run_one(
     node: &NodeSpec,
     trace: &Trace,
     predictor: &dyn OutputLenPredictor,
-) -> Result<RunReport, String> {
-    let cfg = EngineConfig::default();
+    record_metrics: bool,
+) -> Result<(RunReport, MetricsSnapshot), String> {
+    let cfg = EngineConfig {
+        record_metrics,
+        ..EngineConfig::default()
+    };
     let feasibility = |e: tdpipe::core::engine::InfeasibleConfig| e.to_string();
     Ok(match scheduler {
-        "td" => TdPipeEngine::new(model.clone(), node, TdPipeConfig::default())
-            .map_err(feasibility)?
-            .run(trace, predictor)
-            .report,
-        "tp-sb" => TpSbEngine::new(model.clone(), node, cfg)
-            .map_err(feasibility)?
-            .run(trace, predictor)
-            .report,
-        "tp-hb" => TpHbEngine::new(model.clone(), node, cfg)
-            .map_err(feasibility)?
-            .run(trace, predictor)
-            .report,
-        "pp-sb" => PpSbEngine::new(model.clone(), node, cfg)
-            .map_err(feasibility)?
-            .run(trace, predictor)
-            .report,
-        "pp-hb" => PpHbEngine::new(model.clone(), node, cfg)
-            .map_err(feasibility)?
-            .run(trace, predictor)
-            .report,
+        "td" => {
+            let td_cfg = TdPipeConfig {
+                engine: cfg,
+                ..TdPipeConfig::default()
+            };
+            let out = TdPipeEngine::new(model.clone(), node, td_cfg)
+                .map_err(feasibility)?
+                .run(trace, predictor);
+            (out.report, out.metrics)
+        }
+        "tp-sb" => {
+            let out = TpSbEngine::new(model.clone(), node, cfg)
+                .map_err(feasibility)?
+                .run(trace, predictor);
+            (out.report, out.metrics)
+        }
+        "tp-hb" => {
+            let out = TpHbEngine::new(model.clone(), node, cfg)
+                .map_err(feasibility)?
+                .run(trace, predictor);
+            (out.report, out.metrics)
+        }
+        "pp-sb" => {
+            let out = PpSbEngine::new(model.clone(), node, cfg)
+                .map_err(feasibility)?
+                .run(trace, predictor);
+            (out.report, out.metrics)
+        }
+        "pp-hb" => {
+            let out = PpHbEngine::new(model.clone(), node, cfg)
+                .map_err(feasibility)?
+                .run(trace, predictor);
+            (out.report, out.metrics)
+        }
         other => return Err(format!("unknown scheduler '{other}'")),
     })
 }
@@ -140,10 +166,23 @@ fn run_td_traced(
     predictor: &dyn OutputLenPredictor,
     timeline: bool,
 ) -> Result<tdpipe::core::engine::RunOutcome, String> {
+    run_td_instrumented(model, node, trace, predictor, timeline, false)
+}
+
+/// [`run_td_traced`] with the metrics plane optionally switched on too.
+fn run_td_instrumented(
+    model: &ModelSpec,
+    node: &NodeSpec,
+    trace: &Trace,
+    predictor: &dyn OutputLenPredictor,
+    timeline: bool,
+    metrics: bool,
+) -> Result<tdpipe::core::engine::RunOutcome, String> {
     let cfg = TdPipeConfig {
         engine: EngineConfig {
             record_trace: true,
             record_timeline: timeline,
+            record_metrics: metrics,
             ..EngineConfig::default()
         },
         ..TdPipeConfig::default()
@@ -156,7 +195,7 @@ fn run_td_traced(
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match real_main(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -164,7 +203,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn real_main(argv: &[String]) -> Result<(), String> {
+fn real_main(argv: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("missing command".into());
     };
@@ -178,26 +217,34 @@ fn real_main(argv: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "run" => {
             let trace = ShareGptLikeConfig::small(requests, seed).generate();
-            let predictor: Box<dyn OutputLenPredictor> = match args.get("predictor", "oracle").as_str() {
-                "oracle" => Box::new(OraclePredictor),
+            let trained: Option<LengthPredictor> = match args.get("predictor", "oracle").as_str() {
+                "oracle" => None,
                 "trained" => {
                     eprintln!("training length predictor on historical trace...");
                     let hist = ShareGptLikeConfig::small(30_000, seed ^ 0xABCD).generate();
-                    Box::new(LengthPredictor::train(
+                    Some(LengthPredictor::train(
                         &hist.split(7).train,
                         &TrainConfig::default(),
                     ))
                 }
                 other => return Err(format!("unknown predictor '{other}'")),
             };
+            let predictor: &dyn OutputLenPredictor = match &trained {
+                Some(p) => p,
+                None => &OraclePredictor,
+            };
             let scheduler = args.get("scheduler", "td");
-            let report = if let Some(path) = args.opt("trace-out") {
+            let metrics_out = args.opt("metrics-out");
+            let prom_out = args.opt("prom-out");
+            let want_metrics = metrics_out.is_some() || prom_out.is_some();
+            let (report, metrics) = if let Some(path) = args.opt("trace-out") {
                 if scheduler != "td" {
                     return Err(format!(
                         "--trace-out only records the TD-Pipe scheduler (got --scheduler {scheduler})"
                     ));
                 }
-                let out = run_td_traced(&model, &node, &trace, predictor.as_ref(), true)?;
+                let out =
+                    run_td_instrumented(&model, &node, &trace, predictor, true, want_metrics)?;
                 std::fs::write(path, chrome_trace(&out.timeline, &out.journal))
                     .map_err(|e| format!("--trace-out {path}: {e}"))?;
                 println!(
@@ -205,9 +252,17 @@ fn real_main(argv: &[String]) -> Result<(), String> {
                     out.journal.events().len(),
                     out.timeline.segments().len()
                 );
-                out.report
+                (out.report, out.metrics)
             } else {
-                run_one(&scheduler, &model, &node, &trace, predictor.as_ref())?
+                run_one(&scheduler, &model, &node, &trace, predictor, want_metrics)?
+            };
+            // Fold the predictor's per-bucket hit/miss counters into the
+            // export when a trained predictor steered the run.
+            let metrics = match &trained {
+                Some(p) if want_metrics => {
+                    metrics.merged(ConfusionMatrix::compute(p, &trace).to_metrics())
+                }
+                _ => metrics,
             };
             println!("{report}");
             if let Some(l) = report.latency {
@@ -215,6 +270,25 @@ fn real_main(argv: &[String]) -> Result<(), String> {
                     "latency: TTFT mean {:.1}s p99 {:.1}s | completion p50 {:.1}s p99 {:.1}s",
                     l.ttft_mean, l.ttft_p99, l.completion_p50, l.completion_p99
                 );
+            }
+            if let Some(path) = metrics_out {
+                let json = serde_json::to_string(&metrics).map_err(|e| e.to_string())?;
+                std::fs::write(path, &json).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+                println!(
+                    "metrics: {} metrics + {} series -> {path}",
+                    metrics.metrics.len(),
+                    metrics.series.len()
+                );
+            }
+            if let Some(path) = prom_out {
+                std::fs::write(path, to_prom(&metrics))
+                    .map_err(|e| format!("--prom-out {path}: {e}"))?;
+                println!("prom: {} metric families -> {path}", {
+                    let mut names: Vec<&str> =
+                        metrics.metrics.iter().map(|m| m.name.as_str()).collect();
+                    names.dedup();
+                    names.len()
+                });
             }
         }
         "plan" => {
@@ -264,15 +338,59 @@ fn real_main(argv: &[String]) -> Result<(), String> {
         "sweep" => {
             let trace = ShareGptLikeConfig::small(requests, seed).generate();
             for s in ["tp-sb", "tp-hb", "pp-sb", "pp-hb", "td"] {
-                match run_one(s, &model, &node, &trace, &OraclePredictor) {
-                    Ok(r) => println!("{r}"),
+                match run_one(s, &model, &node, &trace, &OraclePredictor, false) {
+                    Ok((r, _)) => println!("{r}"),
                     Err(e) => println!("{s:<10} {e}"),
                 }
             }
         }
+        "metrics-diff" => {
+            let base_path = args.opt("baseline").ok_or("metrics-diff needs --baseline PATH")?;
+            let cur_path = args.opt("current").ok_or("metrics-diff needs --current PATH")?;
+            let load = |path: &str| -> Result<MetricsSnapshot, String> {
+                let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                serde_json::from_str(&json).map_err(|e| format!("{path}: bad snapshot: {e}"))
+            };
+            let baseline = load(base_path)?;
+            let current = load(cur_path)?;
+            let mut rules = default_rules();
+            if let Some(t) = args.opt("threshold") {
+                let t: f64 = t
+                    .parse()
+                    .map_err(|_| format!("--threshold: bad number '{t}'"))?;
+                if !(t.is_finite() && t >= 0.0) {
+                    return Err(format!("--threshold: need a nonnegative tolerance, got {t}"));
+                }
+                for r in &mut rules {
+                    r.rel_tol = t;
+                }
+            }
+            let diff = diff_snapshots(&baseline, &current, &rules);
+            for f in &diff.findings {
+                let tag = if f.regression {
+                    "REGRESSION"
+                } else if f.gated {
+                    "ok"
+                } else {
+                    "info"
+                };
+                println!(
+                    "{tag:<10} {:<28} {:>14.4} -> {:>14.4}  ({:+.2}%)",
+                    f.metric,
+                    f.baseline,
+                    f.current,
+                    f.rel_change * 100.0
+                );
+            }
+            if diff.regressions > 0 {
+                println!("metrics-diff: {} gated metric(s) regressed", diff.regressions);
+                return Ok(ExitCode::FAILURE);
+            }
+            println!("metrics-diff: clean ({} findings)", diff.findings.len());
+        }
         other => return Err(format!("unknown command '{other}'")),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 #[cfg(test)]
@@ -340,16 +458,18 @@ mod tests {
         let model = model_of("13b").unwrap();
         let node = node_of("l20", 2).unwrap();
         for s in ["td", "tp-sb", "tp-hb", "pp-sb", "pp-hb"] {
-            let r = run_one(s, &model, &node, &trace, &OraclePredictor).unwrap();
+            let (r, m) = run_one(s, &model, &node, &trace, &OraclePredictor, true).unwrap();
             assert_eq!(r.num_requests, 12, "{s}");
+            assert!(m.scalar("throughput_total").is_some(), "{s} exports metrics");
         }
-        assert!(run_one("magic", &model, &node, &trace, &OraclePredictor).is_err());
+        assert!(run_one("magic", &model, &node, &trace, &OraclePredictor, false).is_err());
         let err = run_one(
             "td",
             &model_of("70b").unwrap(),
             &node_of("l20", 1).unwrap(),
             &trace,
             &OraclePredictor,
+            false,
         )
         .unwrap_err();
         assert!(err.contains("infeasible"));

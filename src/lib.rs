@@ -25,6 +25,7 @@ pub use tdpipe_baselines as baselines;
 pub use tdpipe_core as core;
 pub use tdpipe_hw as hw;
 pub use tdpipe_kvcache as kvcache;
+pub use tdpipe_metrics as metrics;
 pub use tdpipe_model as model;
 pub use tdpipe_offload as offload;
 pub use tdpipe_predictor as predictor;

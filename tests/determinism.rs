@@ -156,6 +156,12 @@ fn determinism_rule_set_covers_every_report_feeding_crate() {
         "the flight recorder serializes journals that are byte-compared \
          across runs — it must stay under the determinism set"
     );
+    assert!(
+        covered.contains(&"crates/metrics/src"),
+        "metrics snapshots are byte-compared across runs and diffed \
+         against a committed baseline — the registry must stay under \
+         the determinism set"
+    );
 
     // Exempt: `runtime` really runs threads and timeouts (wall-clock use
     // is its job; its safety rules live in the panic-safety set), and
