@@ -10,9 +10,10 @@
 //! imbalance TD-Pipe's work stealing repairs.)
 
 use std::collections::{BinaryHeap, VecDeque};
+use tdpipe_core::cohort::{CohortMembers, DecodeCohort};
 use tdpipe_core::config::EngineConfig;
 use tdpipe_core::cost::StagedJob;
-use tdpipe_core::request::RequestPool;
+use tdpipe_core::request::{Lifecycle, RequestPool};
 use tdpipe_kvcache::BlockAllocator;
 
 /// Per-run scratch buffers reused across scheduler iterations so the
@@ -67,6 +68,12 @@ pub struct RunState {
     /// Lifetime recompute-eviction count (for the metrics plane; plain
     /// add, never branched on).
     pub evictions: u64,
+    /// Shared per-request cohort bookkeeping (see `tdpipe_core::cohort`):
+    /// engines that bank decode steps event-driven keep one
+    /// [`DecodeCohort`] per decode batch and index this from all of them.
+    pub cm: CohortMembers,
+    /// Finisher scratch for [`Self::advance_decode_cohort`].
+    finishers: Vec<(usize, u32)>,
 }
 
 impl RunState {
@@ -80,6 +87,8 @@ impl RunState {
             evict_heap: BinaryHeap::new(),
             evicted: Vec::new(),
             evictions: 0,
+            cm: CohortMembers::new(n),
+            finishers: Vec::new(),
         }
     }
 
@@ -112,7 +121,7 @@ impl RunState {
         match lane.pending.front() {
             None => false,
             Some(&idx) => {
-                let t = self.pool.get(idx).prefill_tokens() as u64;
+                let t = self.pool.prefill_tokens(idx) as u64;
                 let needed = t.div_ceil(lane.alloc.block_size() as u64);
                 lane.alloc.free_blocks() >= needed + lane.watermark_blocks
             }
@@ -126,7 +135,7 @@ impl RunState {
     /// Panics if the head does not fit (callers check [`Self::head_fits`]).
     pub fn admit_head(&mut self, lane: &mut Lane) -> (usize, u32) {
         let idx = lane.pending.pop_front().expect("pending nonempty");
-        let t = self.pool.get(idx).prefill_tokens();
+        let t = self.pool.prefill_tokens(idx);
         lane.alloc
             .allocate(idx as u64, t as u64)
             .expect("caller checked head_fits");
@@ -168,10 +177,10 @@ impl RunState {
         let mut tokens = 0u32;
         while batch.len() < max_new && self.head_fits(lane) {
             let head = *lane.pending.front().expect("head fits");
-            if self.pool.get(head).arrival > now {
+            if self.pool.arrival(head) > now {
                 break;
             }
-            let t = self.pool.get(head).prefill_tokens();
+            let t = self.pool.prefill_tokens(head);
             if !batch.is_empty() && tokens + t > token_budget {
                 break;
             }
@@ -193,7 +202,7 @@ impl RunState {
     pub fn advance_decode(&mut self, lane: &mut Lane, members: &mut Vec<usize>, now: f64) -> usize {
         let mut ctx: u64 = members
             .iter()
-            .map(|&m| self.pool.get(m).resident_tokens())
+            .map(|&m| self.pool.resident_tokens(m))
             .sum();
         self.advance_decode_ctx(lane, members, now, &mut ctx)
     }
@@ -231,15 +240,21 @@ impl RunState {
         // lazily: a max-heap over `admission_seq` (unique, so the peel
         // order matches the old per-victim max scan exactly) with lazy
         // deletion — O(log n) per eviction instead of O(n).
-        let mut i = 0;
         let mut heap_built = false;
+        if lane.alloc.free_blocks() >= members.len() as u64 {
+            // Overflow impossible (each member grows ≤ 1 block): one
+            // batched pass with the OOM branch hoisted out.
+            lane.alloc.extend_one_each(members.iter().map(|&m| m as u64));
+            return finished_now;
+        }
+        let mut i = 0;
         while i < members.len() {
             if heap_built && self.evicted[i] {
                 i += 1;
                 continue;
             }
             let idx = members[i];
-            if lane.alloc.extend(idx as u64, 1).is_ok() {
+            if lane.alloc.extend_one(idx as u64).is_ok() {
                 i += 1;
                 continue;
             }
@@ -262,7 +277,7 @@ impl RunState {
             let victim = members[pos];
             self.evicted[pos] = true;
             lane.alloc.free(victim as u64).expect("victim resident");
-            *ctx -= self.pool.get(victim).resident_tokens();
+            *ctx -= self.pool.resident_tokens(victim);
             self.pool.note_eviction(victim);
             self.evictions += 1;
             lane.pending.push_front(victim);
@@ -280,6 +295,130 @@ impl RunState {
                 keep
             });
         }
+        finished_now
+    }
+
+    /// Event-driven variant of [`Self::advance_decode_ctx`]: the batch's
+    /// members are banked in `coh` (joined at admission), so a step is
+    /// O(finishers) instead of O(members) — finishers drain from their
+    /// finish-epoch bucket with their banked state settled on the way
+    /// out, and the survivors' KV growth is one aggregate extend. Under
+    /// memory pressure the step evicts without un-banking the batch: the
+    /// walk below visits only the members that cross a block boundary
+    /// this step and settles just the victims, reproducing
+    /// [`Self::advance_decode_ctx`]'s eviction schedule (victim choice,
+    /// requeue order, allocator stats) exactly.
+    ///
+    /// Returns the number of requests that finished.
+    pub fn advance_decode_cohort(
+        &mut self,
+        lane: &mut Lane,
+        coh: &mut DecodeCohort,
+        members: &mut Vec<usize>,
+        now: f64,
+        ctx: &mut u64,
+    ) -> usize {
+        debug_assert_eq!(coh.live(), members.len());
+        // Every member generates one token this step.
+        *ctx += members.len() as u64;
+        coh.begin_step();
+        coh.drain_finishers(&mut self.cm, &mut self.finishers);
+        let finished_now = self.finishers.len();
+        for &(m, extends) in &self.finishers {
+            lane.alloc.advance_tokens(m as u64, extends as u64);
+            self.pool.finish_decode(m, extends + 1, now);
+            // The allocation lags the just-generated token by one.
+            let freed = lane.alloc.free(m as u64).expect("finished request resident");
+            *ctx -= freed + 1;
+        }
+        if lane.alloc.free_blocks() >= coh.step_grows() as u64 {
+            lane.alloc
+                .extend_cohort(coh.live() as u64, coh.step_grows() as u64);
+            if finished_now > 0 {
+                let pool = &self.pool;
+                members.retain(|&m| pool.lifecycle(m) == Lifecycle::Decoding);
+            }
+            debug_assert_eq!(coh.live(), members.len());
+            return finished_now;
+        }
+        // Memory pressure: the survivors' block demand exceeds free
+        // memory even after the finishers' frees, so this step evicts
+        // (§4.1 recompute). Replaying the per-member loop would be
+        // O(members); instead walk only the members *growing* a block
+        // this step — they alone consume memory, so they alone shape the
+        // eviction schedule — and settle each victim individually.
+        // Victims are popped newest-admission-first, exactly the
+        // per-member loop's order; `pos < i` tells whether the loop
+        // would already have granted the victim its step token.
+        let mut heap_built = false;
+        let mut grows_taken = 0u64;
+        let mut extra_extends = 0u64;
+        let mut rejections = 0u64;
+        let mut i = 0;
+        while i < members.len() {
+            let m = members[i];
+            // Skip drained finishers, evicted members, and members whose
+            // residency is not block-aligned this step.
+            if !self.cm.in_cohort(m) || !coh.member_grows(&self.cm, m) {
+                i += 1;
+                continue;
+            }
+            if lane.alloc.free_blocks() > grows_taken {
+                grows_taken += 1;
+                i += 1;
+                continue;
+            }
+            if !heap_built {
+                self.evicted.clear();
+                self.evicted.resize(members.len(), false);
+                self.evict_heap.clear();
+                let seq = &self.admission_seq;
+                let cm = &self.cm;
+                self.evict_heap.extend(
+                    members
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &m)| cm.in_cohort(m))
+                        .map(|(p, &m)| (seq[m], p)),
+                );
+                heap_built = true;
+            }
+            // The per-call path charges one OutOfMemory rejection per
+            // eviction (each failed extend evicts exactly one victim).
+            rejections += 1;
+            let pos = loop {
+                let (_, p) = self.evict_heap.pop().expect("live member to evict");
+                if !self.evicted[p] {
+                    break p;
+                }
+            };
+            let victim = members[pos];
+            self.evicted[pos] = true;
+            let p = coh.leave(&mut self.cm, victim);
+            let extended = (pos < i) as u32;
+            self.pool.advance_decode_steps(victim, p);
+            lane.alloc
+                .advance_tokens(victim as u64, (p - 1 + extended) as u64);
+            extra_extends += extended as u64;
+            lane.alloc.free(victim as u64).expect("victim resident");
+            *ctx -= self.pool.resident_tokens(victim);
+            self.pool.note_eviction(victim);
+            self.evictions += 1;
+            lane.pending.push_front(victim);
+            // The victim may be the member we were extending (it held
+            // the newest admission): its demand is gone — move on.
+            // Otherwise the freed blocks let the same member retry.
+            if pos == i {
+                i += 1;
+            }
+        }
+        lane.alloc
+            .extend_survivors(coh.live() as u64, grows_taken, extra_extends, rejections);
+        {
+            let pool = &self.pool;
+            members.retain(|&m| pool.lifecycle(m) == Lifecycle::Decoding);
+        }
+        debug_assert_eq!(coh.live(), members.len());
         finished_now
     }
 
@@ -352,7 +491,7 @@ mod tests {
         for &idx in &members {
             assert_eq!(
                 lane.alloc.tokens_of(idx as u64).unwrap(),
-                st.pool.get(idx).resident_tokens()
+                st.pool.resident_tokens(idx)
             );
         }
         assert_eq!(lane.alloc.num_residents(), members.len());
@@ -372,12 +511,102 @@ mod tests {
                 break;
             }
             st.advance_decode(&mut lane, &mut members, 0.1);
-            if (0..st.pool.len()).any(|i| st.pool.get(i).evictions > 0) {
+            if (0..st.pool.len()).any(|i| st.pool.evictions(i) > 0) {
                 break;
             }
         }
-        let any_evicted = (0..st.pool.len()).any(|i| st.pool.get(i).evictions > 0);
+        let any_evicted = (0..st.pool.len()).any(|i| st.pool.evictions(i) > 0);
         assert!(any_evicted || members.is_empty());
         assert!(lane.alloc.used_blocks() <= lane.alloc.num_blocks());
+    }
+
+    /// The banked eviction walk must reproduce the per-member loop
+    /// bit-for-bit: same victims in the same requeue order, same
+    /// allocator aggregates and stats (including OOM rejections and the
+    /// saturated high-water mark), same survivor set, same context total.
+    #[test]
+    fn cohort_eviction_walk_matches_per_member_loop() {
+        let cfg = EngineConfig::default();
+        let t = ShareGptLikeConfig::small(24, 7).generate();
+        let pool0 = RequestPool::new(t.requests(), |r| r.output_len);
+        let bs = cfg.block_size as u64;
+        let need: u64 = (0..pool0.len())
+            .map(|i| (pool0.prefill_tokens(i) as u64).div_ceil(bs))
+            .sum();
+        // A handful of slack blocks: decode growth saturates the pool
+        // within a few steps, so the walk evicts repeatedly.
+        let blocks = need + 6;
+        let setup = || {
+            let mut st = RunState::new(RequestPool::new(t.requests(), |r| r.output_len));
+            let mut lanes = st.make_lanes(1, blocks, &cfg);
+            let mut lane = lanes.pop().expect("one lane");
+            let mut members = Vec::new();
+            let mut ctx = 0u64;
+            while st.head_fits(&lane) {
+                let (idx, tokens) = st.admit_head(&mut lane);
+                members.push(idx);
+                ctx += tokens as u64;
+            }
+            assert!(members.len() >= 16, "scenario admits most requests");
+            (st, lane, members, ctx)
+        };
+
+        let (mut st_a, mut lane_a, mut mem_a, mut ctx_a) = setup();
+        let (mut st_b, mut lane_b, mut mem_b, mut ctx_b) = setup();
+        let mut coh = DecodeCohort::new(cfg.block_size);
+        for &m in &mem_b {
+            coh.join(
+                &mut st_b.cm,
+                m,
+                st_b.pool.resident_tokens(m),
+                st_b.pool.output_len(m) - st_b.pool.generated(m),
+            );
+        }
+        for step in 0..600 {
+            if mem_a.is_empty() {
+                break;
+            }
+            let now = step as f64;
+            let fa = st_a.advance_decode_ctx(&mut lane_a, &mut mem_a, now, &mut ctx_a);
+            let fb = st_b.advance_decode_cohort(&mut lane_b, &mut coh, &mut mem_b, now, &mut ctx_b);
+            assert_eq!(fa, fb, "finishers at step {step}");
+            assert_eq!(mem_a, mem_b, "survivor set at step {step}");
+            assert_eq!(ctx_a, ctx_b, "context total at step {step}");
+            assert_eq!(lane_a.pending, lane_b.pending, "requeue order at step {step}");
+            assert_eq!(
+                lane_a.alloc.free_blocks(),
+                lane_b.alloc.free_blocks(),
+                "free blocks at step {step}"
+            );
+            assert_eq!(
+                lane_a.alloc.resident_tokens(),
+                lane_b.alloc.resident_tokens(),
+                "resident tokens at step {step}"
+            );
+            assert_eq!(lane_a.alloc.stats(), lane_b.alloc.stats(), "stats at step {step}");
+            assert_eq!(st_a.evictions, st_b.evictions, "evictions at step {step}");
+        }
+        assert!(st_a.evictions > 0, "scenario must exercise the eviction walk");
+        assert!(
+            lane_a.alloc.stats().oom_rejections > 0,
+            "scenario must hit the OOM path"
+        );
+        // Settle the cohort and compare every request's materialised state.
+        for &m in &mem_b.clone() {
+            let p = coh.leave(&mut st_b.cm, m);
+            st_b.pool.advance_decode_steps(m, p);
+            lane_b.alloc.advance_tokens(m as u64, p as u64);
+        }
+        for i in 0..st_a.pool.len() {
+            assert_eq!(st_a.pool.generated(i), st_b.pool.generated(i), "generated for {i}");
+            assert_eq!(st_a.pool.lifecycle(i), st_b.pool.lifecycle(i), "lifecycle for {i}");
+        }
+        for &m in &mem_a {
+            assert_eq!(
+                lane_a.alloc.tokens_of(m as u64).unwrap(),
+                lane_b.alloc.tokens_of(m as u64).unwrap(),
+                "per-resident tokens for {m}"
+            );
+        }
     }
 }

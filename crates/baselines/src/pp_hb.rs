@@ -91,7 +91,7 @@ impl PpHbEngine {
                 let head_arrived = lane
                     .pending
                     .front()
-                    .is_some_and(|&i| st.pool.get(i).arrival <= now);
+                    .is_some_and(|&i| st.pool.arrival(i) <= now);
                 if head_arrived
                     && slot.residents.len() + completed.len() < max_seqs
                     && st.head_fits(lane)
@@ -103,7 +103,7 @@ impl PpHbEngine {
                 }
             }
             let (idx, done) = *slot.prefilling.front().expect("nonempty");
-            let total = st.pool.get(idx).prefill_tokens();
+            let total = st.pool.prefill_tokens(idx);
             let c = (total - done).min(budget);
             chunks.push((c, done));
             budget -= c;
@@ -127,7 +127,7 @@ impl PpHbEngine {
             if !completed.is_empty() {
                 let tokens = completed
                     .iter()
-                    .map(|&i| st.pool.get(i).prefill_tokens() as u64)
+                    .map(|&i| st.pool.prefill_tokens(i) as u64)
                     .sum();
                 metrics.on_prefill_batch(completed.len(), tokens);
             }
@@ -198,7 +198,7 @@ impl PpHbEngine {
             // Online: nothing runnable yet — jump to the first arrival.
             let next_arrival = lanes
                 .iter()
-                .filter_map(|l| l.pending.front().map(|&i| st.pool.get(i).arrival))
+                .filter_map(|l| l.pending.front().map(|&i| st.pool.arrival(i)))
                 .fold(f64::INFINITY, f64::min);
             assert!(
                 next_arrival.is_finite() && next_arrival > now,
@@ -215,7 +215,7 @@ impl PpHbEngine {
             st.advance_decode_ctx(&mut lanes[sid], &mut members, finish, &mut ctx);
             for &idx in &completed {
                 st.pool.note_first_token(idx, finish);
-                ctx += st.pool.get(idx).resident_tokens();
+                ctx += st.pool.resident_tokens(idx);
             }
             members.extend(completed);
             slots[sid].residents = members;
@@ -242,7 +242,7 @@ impl PpHbEngine {
                 // try scheduling again.
                 let next_arrival = lanes
                     .iter()
-                    .filter_map(|l| l.pending.front().map(|&i| st.pool.get(i).arrival))
+                    .filter_map(|l| l.pending.front().map(|&i| st.pool.arrival(i)))
                     .fold(f64::INFINITY, f64::min);
                 if next_arrival.is_finite() && next_arrival > now {
                     now = next_arrival;
@@ -264,8 +264,8 @@ impl PpHbEngine {
                     .expect("unfinished implies pending somewhere");
                 panic!(
                     "request {} ({} tokens) exceeds its lane's KV capacity",
-                    st.pool.get(idx).id,
-                    st.pool.get(idx).prefill_tokens(),
+                    st.pool.id(idx),
+                    st.pool.prefill_tokens(idx),
                 );
             }
         }

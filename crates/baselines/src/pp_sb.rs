@@ -4,6 +4,7 @@
 use crate::common::{Lane, RunState, Scratch};
 use crate::tp_sb::BaselineOutcome;
 use std::collections::VecDeque;
+use tdpipe_core::cohort::DecodeCohort;
 use tdpipe_core::config::EngineConfig;
 use tdpipe_core::control::ControlPlane;
 use tdpipe_core::cost::PpCost;
@@ -29,12 +30,14 @@ enum JobKind {
 }
 
 /// A virtual engine: its own running set, one job in flight at a time.
-#[derive(Default)]
 struct Slot {
     residents: Vec<usize>,
     /// Running context-token total over `residents` (no per-step rescan).
     ctx: u64,
     busy: bool,
+    /// Event-driven decode state for `residents`: a step is O(finishers),
+    /// not O(residents) — see `tdpipe_core::cohort`.
+    cohort: DecodeCohort,
 }
 
 /// The PP+SB engine.
@@ -97,7 +100,7 @@ impl PpSbEngine {
         let head_arrived = lane
             .pending
             .front()
-            .is_some_and(|&i| st.pool.get(i).arrival <= now);
+            .is_some_and(|&i| st.pool.arrival(i) <= now);
         if head_arrived && slot.residents.len() < max_seqs && st.head_fits(lane) {
             let batch = st.pack_prefill_batch_into(
                 lane,
@@ -152,7 +155,14 @@ impl PpSbEngine {
         let mut st = RunState::new(pool);
         let mut lanes = st.make_lanes(n, self.plan.kv_blocks, &self.cfg);
         let mut sim = PipelineSim::new(n as u32, self.cfg.transfer_mode, self.cfg.record_timeline);
-        let mut slots: Vec<Slot> = (0..n).map(|_| Slot::default()).collect();
+        let mut slots: Vec<Slot> = (0..n)
+            .map(|_| Slot {
+                residents: Vec::new(),
+                ctx: 0,
+                busy: false,
+                cohort: DecodeCohort::new(self.cfg.block_size),
+            })
+            .collect();
         let mut inflight: VecDeque<(usize, f64, JobKind)> = VecDeque::new();
         let mut scratch = Scratch::default();
         let mut ctrl = ControlPlane::new(&self.cfg);
@@ -175,7 +185,7 @@ impl PpSbEngine {
             // Online: nothing runnable yet — jump to the first arrival.
             let next_arrival = lanes
                 .iter()
-                .filter_map(|l| l.pending.front().map(|&i| st.pool.get(i).arrival))
+                .filter_map(|l| l.pending.front().map(|&i| st.pool.arrival(i)))
                 .fold(f64::INFINITY, f64::min);
             assert!(
                 next_arrival.is_finite() && next_arrival > now,
@@ -195,14 +205,25 @@ impl PpSbEngine {
                 JobKind::Prefilled(batch) => {
                     for &idx in &batch {
                         st.pool.note_first_token(idx, finish);
-                        slots[sid].ctx += st.pool.get(idx).resident_tokens();
+                        let rt = st.pool.resident_tokens(idx);
+                        let remaining = st.pool.output_len(idx) - st.pool.generated(idx);
+                        slots[sid].ctx += rt;
+                        // Bank the new resident into the slot's cohort:
+                        // one join replaces its per-step bookkeeping.
+                        slots[sid].cohort.join(&mut st.cm, idx, rt, remaining);
                     }
                     slots[sid].residents.extend(batch)
                 }
                 JobKind::Decoded => {
                     let mut members = std::mem::take(&mut slots[sid].residents);
                     let mut ctx = slots[sid].ctx;
-                    st.advance_decode_ctx(&mut lanes[sid], &mut members, finish, &mut ctx);
+                    st.advance_decode_cohort(
+                        &mut lanes[sid],
+                        &mut slots[sid].cohort,
+                        &mut members,
+                        finish,
+                        &mut ctx,
+                    );
                     slots[sid].residents = members;
                     slots[sid].ctx = ctx;
                 }
@@ -229,7 +250,7 @@ impl PpSbEngine {
                 // try scheduling again.
                 let next_arrival = lanes
                     .iter()
-                    .filter_map(|l| l.pending.front().map(|&i| st.pool.get(i).arrival))
+                    .filter_map(|l| l.pending.front().map(|&i| st.pool.arrival(i)))
                     .fold(f64::INFINITY, f64::min);
                 if next_arrival.is_finite() && next_arrival > now {
                     now = next_arrival;
@@ -251,8 +272,8 @@ impl PpSbEngine {
                     .expect("unfinished implies pending somewhere");
                 panic!(
                     "request {} ({} tokens) exceeds its lane's KV capacity",
-                    st.pool.get(idx).id,
-                    st.pool.get(idx).prefill_tokens(),
+                    st.pool.id(idx),
+                    st.pool.prefill_tokens(idx),
                 );
             }
         }

@@ -106,7 +106,7 @@ impl TpHbEngine {
                     let head_arrived = lane
                         .pending
                         .front()
-                        .is_some_and(|&i| st.pool.get(i).arrival <= now);
+                        .is_some_and(|&i| st.pool.arrival(i) <= now);
                     if head_arrived
                         && residents.len() + completed.len() < max_seqs
                         && st.head_fits(&lane)
@@ -118,7 +118,7 @@ impl TpHbEngine {
                     }
                 }
                 let (idx, done) = *prefilling.front().expect("nonempty");
-                let total = st.pool.get(idx).prefill_tokens();
+                let total = st.pool.prefill_tokens(idx);
                 let c = (total - done).min(budget);
                 chunks.push((c, done));
                 budget -= c;
@@ -132,7 +132,7 @@ impl TpHbEngine {
 
             if decode_b == 0 && chunks.is_empty() {
                 let idx = *lane.pending.front().expect("unfinished implies pending");
-                let arrival = st.pool.get(idx).arrival;
+                let arrival = st.pool.arrival(idx);
                 if arrival > now {
                     // Online idle: wait for the next request.
                     now = arrival;
@@ -140,8 +140,8 @@ impl TpHbEngine {
                 }
                 panic!(
                     "request {} ({} tokens) exceeds KV capacity ({} tokens)",
-                    st.pool.get(idx).id,
-                    st.pool.get(idx).prefill_tokens(),
+                    st.pool.id(idx),
+                    st.pool.prefill_tokens(idx),
                     self.plan.token_capacity()
                 );
             }
@@ -156,7 +156,7 @@ impl TpHbEngine {
                 if !completed.is_empty() {
                     let tokens = completed
                         .iter()
-                        .map(|&i| st.pool.get(i).prefill_tokens() as u64)
+                        .map(|&i| st.pool.prefill_tokens(i) as u64)
                         .sum();
                     metrics.on_prefill_batch(completed.len(), tokens);
                 }
@@ -181,7 +181,7 @@ impl TpHbEngine {
             st.advance_decode_ctx(&mut lane, &mut residents, timing.finish, &mut ctx);
             for &idx in &completed {
                 st.pool.note_first_token(idx, timing.finish);
-                ctx += st.pool.get(idx).resident_tokens();
+                ctx += st.pool.resident_tokens(idx);
             }
             residents.extend(completed.iter().copied());
             metrics.sample(timing.finish, lane.alloc.occupancy(), 1, 0, lane.pending.len());

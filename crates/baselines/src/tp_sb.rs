@@ -106,7 +106,7 @@ impl TpSbEngine {
             let head_arrived = lane
                 .pending
                 .front()
-                .is_some_and(|&i| st.pool.get(i).arrival <= now);
+                .is_some_and(|&i| st.pool.arrival(i) <= now);
             if head_arrived && residents.len() < max_seqs && st.head_fits(&lane) {
                 // Prefill priority (vLLM separate batching).
                 let batch = st.pack_prefill_batch_into(
@@ -122,7 +122,7 @@ impl TpSbEngine {
                 let timing = sim.launch_monolithic(now, t, SegmentKind::Prefill, 0);
                 for &idx in &batch {
                     st.pool.note_first_token(idx, timing.finish);
-                    ctx += st.pool.get(idx).resident_tokens();
+                    ctx += st.pool.resident_tokens(idx);
                 }
                 now = ctrl.process(timing.finish, batch.len());
                 residents.extend(batch);
@@ -135,15 +135,15 @@ impl TpSbEngine {
                 metrics.sample(timing.finish, lane.alloc.occupancy(), 1, 0, lane.pending.len());
             } else {
                 let idx = *lane.pending.front().expect("unfinished implies pending");
-                if st.pool.get(idx).arrival > now {
+                if st.pool.arrival(idx) > now {
                     // Online idle: wait for the next request.
-                    now = st.pool.get(idx).arrival;
+                    now = st.pool.arrival(idx);
                     continue;
                 }
                 panic!(
                     "request {} ({} tokens) exceeds KV capacity ({} tokens)",
-                    st.pool.get(idx).id,
-                    st.pool.get(idx).prefill_tokens(),
+                    st.pool.id(idx),
+                    st.pool.prefill_tokens(idx),
                     self.plan.token_capacity()
                 );
             }

@@ -1,0 +1,97 @@
+//! Incremental-vs-rebuild Algorithm 1 planning (paper §3.3).
+//!
+//! At every phase boundary the engine re-seeds the greedy prefill
+//! planner's future-usage grid. The pre-refactor code rebuilt the grid
+//! from scratch — O(residents × futurePoints) — while the incremental
+//! planner applies exact per-request deltas, O(changes × futurePoints).
+//! Both routines below effect the *same* state change (churn a small
+//! subset of a large resident set) and are asserted to land on identical
+//! usage grids; the benchmark records what that change costs each way.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tdpipe_core::greedy::GreedyPrefillPlanner;
+
+const RESIDENTS: usize = 2048;
+/// Requests whose contribution changes at the phase boundary (finishers
+/// replaced by fresh admissions) — a typical per-phase churn.
+const CHURN: usize = 64;
+
+fn future_points() -> Vec<u32> {
+    (5..=10).map(|k| 1u32 << k).collect() // 32, 64, …, 1024
+}
+
+/// Deterministic per-request contribution; `round` perturbs the churned
+/// prefix so the before/after states differ.
+fn contribution(id: usize, round: usize) -> (u64, u32) {
+    let c = 200 + ((id * 37 + round * 11) % 900) as u64;
+    let p = 1 + ((id * 13 + round * 7) % 800) as u32;
+    (c, p)
+}
+
+fn seeded_planner() -> GreedyPrefillPlanner {
+    let mut p = GreedyPrefillPlanner::new(future_points(), u64::MAX / 2);
+    p.reserve_ids(RESIDENTS);
+    for id in 0..RESIDENTS {
+        let (c, rem) = contribution(id, 0);
+        p.admit(id, c, rem);
+    }
+    p
+}
+
+/// Apply the phase-boundary churn incrementally: the changed requests are
+/// removed and re-admitted with their new contribution.
+fn reseed_incremental(p: &mut GreedyPrefillPlanner) {
+    for id in 0..CHURN {
+        p.remove_request(id);
+        let (c, rem) = contribution(id, 1);
+        p.admit(id, c, rem);
+    }
+}
+
+/// The same churn via a from-scratch rebuild: forget everything, re-admit
+/// every resident with its (possibly updated) contribution.
+fn reseed_rebuild(p: &mut GreedyPrefillPlanner) {
+    p.clear();
+    for id in 0..RESIDENTS {
+        let round = usize::from(id < CHURN);
+        let (c, rem) = contribution(id, round);
+        p.admit(id, c, rem);
+    }
+}
+
+fn bench_planner(c: &mut Criterion) {
+    // The two routines must be exact equivalents, or the comparison is
+    // meaningless: same usage grid, bit for bit (all-u64 arithmetic).
+    {
+        let mut a = seeded_planner();
+        let mut b = seeded_planner();
+        reseed_incremental(&mut a);
+        reseed_rebuild(&mut b);
+        assert_eq!(a.usage(), b.usage(), "reseed routines diverged");
+    }
+
+    c.bench_function("phase_reseed_2k_incremental", |b| {
+        b.iter_batched_ref(
+            seeded_planner,
+            |p| {
+                reseed_incremental(p);
+                black_box(p.peak_usage());
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("phase_reseed_2k_rebuild_baseline", |b| {
+        b.iter_batched_ref(
+            seeded_planner,
+            |p| {
+                reseed_rebuild(p);
+                black_box(p.peak_usage());
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Arena-vs-boxed request storage: the decode sweep every scheduler runs
+//! once per simulated step.
+//!
+//! `RequestArena` keeps the hot per-request fields (token counters,
+//! lifecycle) in one dense array, so a sweep walks contiguous memory. The
+//! baseline here is the pre-refactor layout: one heap-boxed record per
+//! request mixing hot and cold fields, which makes every step a pointer
+//! chase across ~90-byte objects. Both sides run the same logical work —
+//! skip non-decoding members, advance one token, detect finishes.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tdpipe_core::request::{Lifecycle, RequestArena};
+use tdpipe_workload::ShareGptLikeConfig;
+
+const N: usize = 4096;
+/// Steps per measured iteration (amortises the setup clone and lets the
+/// short requests actually finish mid-sweep, as they do in a real run).
+const STEPS: usize = 8;
+
+fn arena() -> RequestArena {
+    let trace = ShareGptLikeConfig::small(N, 11).generate();
+    let mut pool = RequestArena::new(trace.requests(), |r| r.output_len);
+    for m in 0..pool.len() {
+        let tokens = pool.input_len(m);
+        pool.note_prefill(m, tokens);
+    }
+    pool
+}
+
+/// The pre-arena per-request record: identity, timing, and counters in one
+/// struct, heap-allocated individually.
+struct BoxedRequest {
+    #[allow(dead_code)]
+    id: u64,
+    #[allow(dead_code)]
+    input_len: u32,
+    output_len: u32,
+    #[allow(dead_code)]
+    predicted: u32,
+    generated: u32,
+    #[allow(dead_code)]
+    evictions: u32,
+    decoding: bool,
+    #[allow(dead_code)]
+    swapped: bool,
+    #[allow(dead_code)]
+    arrival: f64,
+    #[allow(dead_code)]
+    first_token_at: f64,
+    #[allow(dead_code)]
+    finished_at: f64,
+}
+
+fn boxed() -> Vec<Box<BoxedRequest>> {
+    let trace = ShareGptLikeConfig::small(N, 11).generate();
+    trace
+        .requests()
+        .iter()
+        .map(|r| {
+            Box::new(BoxedRequest {
+                id: r.id.0,
+                input_len: r.input_len,
+                output_len: r.output_len.max(1),
+                predicted: r.output_len.max(1),
+                generated: 0,
+                evictions: 0,
+                decoding: true,
+                swapped: false,
+                arrival: 0.0,
+                first_token_at: f64::NAN,
+                finished_at: f64::NAN,
+            })
+        })
+        .collect()
+}
+
+fn bench_request_storage(c: &mut Criterion) {
+    c.bench_function("decode_sweep_4k_arena", |b| {
+        b.iter_batched_ref(
+            arena,
+            |pool| {
+                let mut finished = 0u32;
+                for _ in 0..STEPS {
+                    for m in 0..N {
+                        if pool.lifecycle(m) == Lifecycle::Decoding
+                            && pool.note_decode_step(m, 1.0)
+                        {
+                            finished += 1;
+                        }
+                    }
+                }
+                black_box(finished);
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("decode_sweep_4k_boxed_baseline", |b| {
+        b.iter_batched_ref(
+            boxed,
+            |pool| {
+                let mut finished = 0u32;
+                let mut output_tokens = 0u64;
+                for _ in 0..STEPS {
+                    for r in pool.iter_mut() {
+                        if !r.decoding {
+                            continue;
+                        }
+                        r.generated += 1;
+                        output_tokens += 1;
+                        if r.generated >= r.output_len {
+                            r.decoding = false;
+                            r.finished_at = 1.0;
+                            finished += 1;
+                        }
+                    }
+                }
+                black_box((finished, output_tokens));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_request_storage);
+criterion_main!(benches);

@@ -7,37 +7,24 @@ use tdpipe_baselines::common::RunState;
 use tdpipe_core::config::EngineConfig;
 use tdpipe_core::greedy::GreedyPrefillPlanner;
 use tdpipe_core::intensity::{IntensityComparator, PrefillPhaseEstimate};
-use tdpipe_core::request::{Lifecycle, RequestPool, RequestState};
+use tdpipe_core::request::RequestPool;
 use tdpipe_core::steal::WorkStealer;
 use tdpipe_hw::{DecodeProfile, GpuSpec, KernelModel};
 use tdpipe_model::ModelSpec;
-use tdpipe_workload::{RequestId, ShareGptLikeConfig};
-
-fn req(input: u32, predicted: u32) -> RequestState {
-    RequestState {
-        id: RequestId(0),
-        input_len: input,
-        output_len: predicted,
-        predicted,
-        generated: 0,
-        lifecycle: Lifecycle::Decoding,
-        evictions: 0,
-        swapped: false,
-        arrival: 0.0,
-        first_token_at: f64::NAN,
-        finished_at: f64::NAN,
-    }
-}
+use tdpipe_workload::ShareGptLikeConfig;
 
 fn bench_decisions(c: &mut Criterion) {
-    // Algorithm 1: UpdateUsage + CheckSwitch for one admitted request.
+    // Algorithm 1: UpdateUsage + CheckSwitch for one admitted request,
+    // paired with the matching removal so the tracked set stays bounded
+    // across criterion's iterations.
     c.bench_function("greedy_update_and_check", |b| {
         let points: Vec<u32> = (1..=32).map(|i| i * 32).collect();
         let mut planner = GreedyPrefillPlanner::new(points, 500_000);
-        let r = req(300, 250);
         b.iter(|| {
-            planner.add_request(black_box(&r));
-            black_box(planner.would_overflow())
+            planner.admit(black_box(0), black_box(300), black_box(250));
+            let over = black_box(planner.would_overflow());
+            planner.remove_request(0);
+            over
         })
     });
 

@@ -191,6 +191,104 @@ pub fn run_cells_parallel_with_threads<P: OutputLenPredictor + Sync + ?Sized>(
     results
 }
 
+/// One unit of a multi-cell, multi-seed sweep: a scheduler/model/node cell
+/// plus the workload configuration it runs on. Unlike
+/// [`run_cells_parallel`], which shares one pre-generated trace across all
+/// cells, a sweep generates each spec's trace *inside* the claiming worker,
+/// so trace construction for large (100k–1M request) workloads parallelises
+/// along with the simulation itself.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Which scheduler to run.
+    pub scheduler: Scheduler,
+    /// Model weights/shape.
+    pub model: ModelSpec,
+    /// Node the model is placed on.
+    pub node: NodeSpec,
+    /// Workload generator configuration (request count + seed + shape).
+    pub workload: ShareGptLikeConfig,
+}
+
+impl SweepSpec {
+    /// The standard paper workload at `num_requests` requests under `seed`.
+    pub fn paper_cell(
+        scheduler: Scheduler,
+        model: ModelSpec,
+        node: NodeSpec,
+        num_requests: usize,
+        seed: u64,
+    ) -> Self {
+        SweepSpec {
+            scheduler,
+            model,
+            node,
+            workload: ShareGptLikeConfig::small(num_requests, seed),
+        }
+    }
+
+    /// Run this spec serially: generate the trace, then run the scheduler.
+    pub fn run<P: OutputLenPredictor + ?Sized>(&self, predictor: &P) -> Option<RunReport> {
+        let trace = self.workload.generate();
+        run_scheduler(self.scheduler, &self.model, &self.node, &trace, predictor)
+    }
+}
+
+/// Run a multi-cell, multi-seed sweep in parallel with scoped threads.
+///
+/// Each spec is an independent deterministic simulation over its own
+/// generated trace, so the results are byte-identical to calling
+/// [`SweepSpec::run`] on each spec in order — only the wall time shrinks.
+/// Results come back in input order.
+pub fn run_sweep_parallel<P: OutputLenPredictor + Sync + ?Sized>(
+    specs: &[SweepSpec],
+    predictor: &P,
+) -> Vec<Option<RunReport>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    run_sweep_parallel_with_threads(specs, predictor, threads)
+}
+
+/// [`run_sweep_parallel`] with an explicit worker count (the determinism
+/// tests sweep this to prove thread count cannot affect results).
+///
+/// Same lock-free shape as [`run_cells_parallel_with_threads`]: workers
+/// claim specs off a shared atomic counter, generate the spec's trace
+/// locally, run it, buffer `(index, report)` pairs, and the caller
+/// scatters the buffers back into input order.
+pub fn run_sweep_parallel_with_threads<P: OutputLenPredictor + Sync + ?Sized>(
+    specs: &[SweepSpec],
+    predictor: &P,
+    threads: usize,
+) -> Vec<Option<RunReport>> {
+    let threads = threads.max(1).min(specs.len().max(1));
+    let mut results: Vec<Option<RunReport>> = vec![None; specs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, Option<RunReport>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        done.push((i, specs[i].run(predictor)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                results[i] = r;
+            }
+        }
+    });
+    results
+}
+
 /// Directory the binaries drop machine-readable results into.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("TDPIPE_RESULTS_DIR").unwrap_or_else(|_| "results".into());
@@ -249,6 +347,33 @@ mod tests {
             let serial = run_scheduler(*s, m, n, &trace, &OraclePredictor);
             assert_eq!(got.as_ref().map(|r| r.makespan), serial.map(|r| r.makespan));
         }
+    }
+
+    #[test]
+    fn multi_seed_sweep_matches_serial() {
+        // Mixed cells *and* seeds: every spec generates its own trace.
+        let mut specs = Vec::new();
+        for seed in [1u64, 2, 3] {
+            for s in [Scheduler::PpSb, Scheduler::TdPipe] {
+                specs.push(SweepSpec::paper_cell(
+                    s,
+                    ModelSpec::llama2_13b(),
+                    NodeSpec::l20(2),
+                    32,
+                    seed,
+                ));
+            }
+        }
+        let par = run_sweep_parallel(&specs, &OraclePredictor);
+        for (spec, got) in specs.iter().zip(&par) {
+            let serial = spec.run(&OraclePredictor);
+            assert_eq!(got.as_ref().map(|r| r.makespan), serial.map(|r| r.makespan));
+        }
+        // Different seeds genuinely produce different workloads.
+        assert_ne!(
+            par[0].as_ref().map(|r| r.makespan),
+            par[2].as_ref().map(|r| r.makespan),
+        );
     }
 
     #[test]

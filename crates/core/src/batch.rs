@@ -34,7 +34,7 @@ impl DecodeBatch {
     pub fn total_ctx(&self, pool: &RequestPool) -> u64 {
         self.members
             .iter()
-            .map(|&i| pool.get(i).resident_tokens())
+            .map(|&i| pool.resident_tokens(i))
             .sum()
     }
 }
@@ -44,10 +44,23 @@ impl DecodeBatch {
 /// keep each batch's requests age-adjacent, which makes the newest-first
 /// eviction policy coherent).
 pub fn partition_even(members: &[usize], n: usize) -> Vec<DecodeBatch> {
+    let mut out = Vec::new();
+    partition_even_into(members, n, &mut out);
+    out
+}
+
+/// [`partition_even`] into a caller-owned batch list: the member vectors
+/// keep their capacity across phase switches, so the steady-state engine
+/// allocates nothing per switch once every batch has reached its
+/// high-water size.
+pub fn partition_even_into(members: &[usize], n: usize, out: &mut Vec<DecodeBatch>) {
     assert!(n > 0, "need at least one batch");
-    let mut out: Vec<DecodeBatch> = (0..n).map(|_| DecodeBatch::new()).collect();
+    out.resize_with(n, DecodeBatch::new);
+    for b in out.iter_mut() {
+        b.members.clear();
+    }
     if members.is_empty() {
-        return out;
+        return;
     }
     let base = members.len() / n;
     let extra = members.len() % n;
@@ -58,7 +71,6 @@ pub fn partition_even(members: &[usize], n: usize) -> Vec<DecodeBatch> {
         cursor += take;
     }
     debug_assert_eq!(cursor, members.len());
-    out
 }
 
 #[cfg(test)]
@@ -91,18 +103,37 @@ mod tests {
     }
 
     #[test]
+    fn partition_into_reuses_and_repartitions() {
+        let mut out = Vec::new();
+        partition_even_into(&(0..10).collect::<Vec<_>>(), 4, &mut out);
+        let caps: Vec<usize> = out.iter().map(|b| b.members.capacity()).collect();
+        // Repartitioning a smaller set must clear, keep capacity, and
+        // produce exactly the fresh result.
+        partition_even_into(&[1, 2, 3], 4, &mut out);
+        let sizes: Vec<usize> = out.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 1, 0]);
+        for (b, cap) in out.iter().zip(caps) {
+            assert!(b.members.capacity() >= cap.min(b.len()));
+        }
+        let fresh = partition_even(&[1, 2, 3], 4);
+        for (a, b) in out.iter().zip(&fresh) {
+            assert_eq!(a.members, b.members);
+        }
+    }
+
+    #[test]
     fn total_ctx_sums_resident_tokens() {
         let t = ShareGptLikeConfig::small(4, 2).generate();
         let mut pool = crate::request::RequestPool::new(t.requests(), |r| r.output_len);
         for i in 0..4 {
-            let tokens = pool.get(i).input_len;
+            let tokens = pool.input_len(i);
             pool.note_prefill(i, tokens);
         }
         pool.note_decode_step(0, 0.0);
         let b = DecodeBatch {
             members: vec![0, 1],
         };
-        let expect = pool.get(0).resident_tokens() + pool.get(1).resident_tokens();
+        let expect = pool.resident_tokens(0) + pool.resident_tokens(1);
         assert_eq!(b.total_ctx(&pool), expect);
     }
 

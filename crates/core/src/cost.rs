@@ -172,6 +172,24 @@ impl PpCost {
         self.staged_into(&work, seq_lens.len() as u64, tokens, out);
     }
 
+    /// [`Self::prefill_job_into`] from pre-accumulated batch statistics
+    /// (token total, attention FLOPs, sequence count) instead of the raw
+    /// sequence lengths. Bit-identical to the slice form whenever the parts
+    /// were accumulated in the same order — see
+    /// [`tdpipe_model::ModelSpec::prefill_layer_work_from_parts`]. This is
+    /// what lets the decode→prefill estimator price cached batch prefixes
+    /// in O(stages) per query instead of re-walking every sequence.
+    pub fn prefill_job_from_parts(
+        &self,
+        tokens: u64,
+        attn_flops: f64,
+        num_seqs: u64,
+        out: &mut StagedJob,
+    ) {
+        let work = self.model.prefill_layer_work_from_parts(tokens, attn_flops);
+        self.staged_into(&work, num_seqs, tokens, out);
+    }
+
     /// One decode step for a batch of `batch` requests with `total_ctx`
     /// total context tokens.
     pub fn decode_job(&self, batch: usize, total_ctx: u64) -> StagedJob {

@@ -21,16 +21,18 @@
 //! [`tdpipe_sim::PipelineSim`] produces exactly the idle gaps a real
 //! pipeline would show.
 
-use crate::batch::{partition_even, DecodeBatch};
+use crate::batch::{partition_even_into, DecodeBatch};
+use crate::cohort::{CohortMembers, DecodeCohort};
 use crate::config::{D2pPolicy, P2dPolicy, PreemptionMode, TdPipeConfig};
 use crate::control::ControlPlane;
 use crate::cost::PpCost;
+use crate::estimate::PrefillEstimateCache;
 use crate::exec::{ExecError, PipelineExecutor, SimExecutor};
 use crate::greedy::GreedyPrefillPlanner;
 use crate::intensity::{IntensityComparator, PrefillPhaseEstimate};
 use crate::metrics::EngineMetrics;
 use crate::plan::MemoryPlan;
-use crate::request::RequestPool;
+use crate::request::{Lifecycle, RequestPool};
 use crate::steal::WorkStealer;
 use std::collections::VecDeque;
 use tdpipe_hw::{DecodeProfile, NodeSpec};
@@ -259,6 +261,7 @@ impl TdPipeEngine {
         let comparator = IntensityComparator::new(self.build_profile(trace));
         let mut planner =
             GreedyPrefillPlanner::new(self.cfg.future_points(), self.plan.token_capacity());
+        planner.reserve_ids(pool.len());
 
         let mut ctrl = ControlPlane::new(e);
         let mut pending: VecDeque<usize> = (0..pool.len()).collect();
@@ -288,7 +291,7 @@ impl TdPipeEngine {
         let mut seq_lens: Vec<u32> = Vec::new();
         let mut prefill_members: Vec<usize> = Vec::new();
         let mut prefill_meta: Vec<(usize, usize, f64)> = Vec::new();
-        let mut est_scratch: Vec<u32> = Vec::new();
+        let mut est_cache = PrefillEstimateCache::default();
         let mut job = crate::cost::StagedJob::default();
         let mut evict_heap: std::collections::BinaryHeap<(u64, usize)> =
             std::collections::BinaryHeap::new();
@@ -297,11 +300,44 @@ impl TdPipeEngine {
         // maintained incrementally) and their sum over stored batches.
         let mut batch_ctx: Vec<u64> = vec![0; n_stages];
         let mut inflight: VecDeque<usize> = VecDeque::new();
+        // Per-switch scratch, reused so the steady-state engine allocates
+        // nothing at a phase transition: the decode batches (member vectors
+        // keep their capacity), their initial sizes, and the work stealer.
+        let mut batches: Vec<DecodeBatch> = Vec::new();
+        let mut initial_sizes: Vec<usize> = Vec::new();
+        let mut stealer: Option<WorkStealer> = None;
+        // Event-driven decode cohorts, one per in-flight batch, plus their
+        // shared per-request bookkeeping: each banks its batch's per-step
+        // work (tokens generated, KV extends, finish retirement, planner
+        // advances) as arithmetic, settled per member only when a member
+        // leaves its batch — see `crate::cohort`.
+        let mut cohorts: Vec<DecodeCohort> = (0..n_stages)
+            .map(|_| DecodeCohort::new(self.plan.block_size))
+            .collect();
+        let mut cm = CohortMembers::new(pool.len());
+        let mut finishers: Vec<(usize, u32)> = Vec::new();
         while !pool.all_finished() {
             // ===================== PREFILL PHASE =====================
             let phase_t0 = now;
             let mut admitted = 0u64;
-            planner.reset(residents.iter().map(|&i| pool.get(i)));
+            // The planner is maintained incrementally across phases
+            // (admit/remove/advance); in debug builds, rebuild it from
+            // scratch and check the usage grids agree exactly.
+            #[cfg(debug_assertions)]
+            {
+                let mut oracle = GreedyPrefillPlanner::new(
+                    self.cfg.future_points(),
+                    self.plan.token_capacity(),
+                );
+                for &i in &residents {
+                    oracle.admit(i, pool.resident_tokens(i), pool.predicted_remaining(i));
+                }
+                debug_assert_eq!(
+                    oracle.usage(),
+                    planner.usage(),
+                    "incremental planner drifted from a from-scratch rebuild"
+                );
+            }
             let mut launched = 0u64;
             let mut admitted_any = false;
             prefill_members.clear();
@@ -332,14 +368,14 @@ impl TdPipeEngine {
                 while let Some(&idx) = pending.front() {
                     // Online extension: a request can only be prefilled
                     // after it has arrived.
-                    if pool.get(idx).arrival > now + launched as f64 * e.engine_overhead {
+                    if pool.arrival(idx) > now + launched as f64 * e.engine_overhead {
                         pack_stop = PrefillStopReason::Arrival;
                         break;
                     }
                     // Swap-preempted requests re-enter via a host-link
                     // transfer, not a prefill job.
-                    if pool.get(idx).swapped {
-                        let tokens = pool.get(idx).resident_tokens();
+                    if pool.swapped(idx) {
+                        let tokens = pool.resident_tokens(idx);
                         let needed =
                             tokens.div_ceil(self.plan.block_size as u64);
                         if alloc.free_blocks() < needed + watermark_blocks {
@@ -358,13 +394,13 @@ impl TdPipeEngine {
                         admission_seq[idx] = next_seq;
                         next_seq += 1;
                         residents.push(idx);
-                        planner.add_request(pool.get(idx));
+                        planner.admit(idx, tokens, pool.predicted_remaining(idx));
                         admitted_any = true;
                         admitted += 1;
                         journal.record(
                             now,
                             TraceEvent::PrefillAdmit {
-                                request: pool.get(idx).id.0,
+                                request: pool.id(idx).0,
                                 tokens,
                                 reason: AdmitReason::SwapIn,
                             },
@@ -372,7 +408,7 @@ impl TdPipeEngine {
                         metrics.on_prefill_admit(AdmitReason::SwapIn, tokens);
                         continue;
                     }
-                    let t = pool.get(idx).prefill_tokens();
+                    let t = pool.prefill_tokens(idx);
                     if !batch.is_empty() && batch_tokens + t > e.prefill_token_budget {
                         pack_stop = PrefillStopReason::Budget;
                         break;
@@ -399,7 +435,7 @@ impl TdPipeEngine {
                     // of which require a non-empty pending queue.
                     let idx = *pending.front().expect("pending nonempty");
                     let head_arrived =
-                        pool.get(idx).arrival <= now + launched as f64 * e.engine_overhead;
+                        pool.arrival(idx) <= now + launched as f64 * e.engine_overhead;
                     if head_arrived && !admitted_any && residents.is_empty() {
                         // analyzer: allow(no-panic) — unschedulable input
                         // (one request larger than the whole KV pool):
@@ -407,8 +443,8 @@ impl TdPipeEngine {
                         // `run_with_arrivals`, not a runtime failure.
                         panic!(
                             "request {} ({} tokens) exceeds KV capacity ({} tokens)",
-                            pool.get(idx).id,
-                            pool.get(idx).prefill_tokens(),
+                            pool.id(idx),
+                            pool.prefill_tokens(idx),
                             self.plan.token_capacity()
                         );
                     }
@@ -442,14 +478,13 @@ impl TdPipeEngine {
                 prefill_meta.push((start, prefill_members.len(), alloc.occupancy()));
                 for (&idx, &t) in batch.iter().zip(&seq_lens) {
                     pool.note_prefill(idx, t);
-                    planner.add_request(pool.get(idx));
+                    planner.admit(idx, t as u64, pool.predicted_remaining(idx));
                     admission_seq[idx] = next_seq;
                     next_seq += 1;
                     residents.push(idx);
                     admitted += 1;
                     if journal.is_enabled() || metrics.is_enabled() {
-                        let s = pool.get(idx);
-                        let reason = if s.evictions > 0 {
+                        let reason = if pool.evictions(idx) > 0 {
                             AdmitReason::Recompute
                         } else {
                             AdmitReason::FirstPrefill
@@ -457,7 +492,7 @@ impl TdPipeEngine {
                         journal.record(
                             now,
                             TraceEvent::PrefillAdmit {
-                                request: s.id.0,
+                                request: pool.id(idx).0,
                                 tokens: t as u64,
                                 reason,
                             },
@@ -508,7 +543,7 @@ impl TdPipeEngine {
                 // fast-forward and try the prefill phase again.
                 let next_arrival = pending
                     .iter()
-                    .map(|&i| pool.get(i).arrival)
+                    .map(|&i| pool.arrival(i))
                     .fold(f64::INFINITY, f64::min);
                 assert!(
                     next_arrival.is_finite() && next_arrival > now,
@@ -535,24 +570,47 @@ impl TdPipeEngine {
             // fast-forward `continue` above, mirroring the journal: the
             // popped empty prefill record never reaches the registry.
             metrics.on_phase_end(Phase::Prefill, phases[phases.len() - 1].start, prefill_exec_end);
-            // Partition in admission order (§3.4: equal batches, one per GPU).
-            residents.sort_by_key(|&i| admission_seq[i]);
-            let mut batches = partition_even(&residents, n_stages);
-            residents.clear();
-            let initial_sizes: Vec<usize> = batches.iter().map(DecodeBatch::len).collect();
+            // Partition in admission order (§3.4: equal batches, one per
+            // GPU). `residents` is kept in admission order by construction —
+            // prefill appends in increasing `admission_seq` and the
+            // phase-end retain preserves order — so no per-switch sort.
+            debug_assert!(
+                residents
+                    .windows(2)
+                    .all(|w| admission_seq[w[0]] < admission_seq[w[1]]),
+                "residents must stay in admission order"
+            );
+            partition_even_into(&residents, n_stages, &mut batches);
+            initial_sizes.clear();
+            initial_sizes.extend(batches.iter().map(DecodeBatch::len));
             let phase_start_count: usize = initial_sizes.iter().sum();
-            let mut stealer = self
-                .cfg
-                .work_stealing
-                .then(|| WorkStealer::new(&initial_sizes));
+            if self.cfg.work_stealing {
+                match stealer.as_mut() {
+                    Some(st) => st.reset(&initial_sizes),
+                    None => stealer = Some(WorkStealer::new(&initial_sizes)),
+                }
+            }
+            est_cache.invalidate();
             let mut finished_this_phase = 0usize;
             let mut switching = false;
 
             debug_assert!(inflight.is_empty());
             for (bid, b) in batches.iter().enumerate() {
                 // Scan each batch once at phase start; from here on
-                // `batch_ctx` is maintained incrementally.
+                // `batch_ctx` is maintained incrementally. Bank every
+                // member into the batch's cohort: one join here replaces
+                // the per-step per-member walk for its whole residency.
                 batch_ctx[bid] = b.total_ctx(&pool);
+                let coh = &mut cohorts[bid];
+                coh.reset();
+                for &m in &b.members {
+                    coh.join(
+                        &mut cm,
+                        m,
+                        pool.resident_tokens(m),
+                        pool.output_len(m) - pool.generated(m),
+                    );
+                }
                 if b.is_empty() {
                     continue;
                 }
@@ -578,113 +636,194 @@ impl TdPipeEngine {
                 //    Every member's context grows by one this step; the
                 //    finished leave with their post-step resident tokens
                 //    (one more than the allocator held for them).
+                // 2) Extend survivors' KV; evict newest-first on overflow
+                //    (the recompute strategy of §4.1).
+                //
+                // The fast path banks the whole step in the batch's
+                // cohort: finishers drain from their finish-epoch bucket
+                // (with their banked state settled on the way out), the
+                // survivors' growth is one aggregate extend, and no other
+                // member is touched. When free memory cannot cover the
+                // step's worst-case block demand, the cohort is settled
+                // and the per-member loop replays the step with the
+                // eviction machinery — identical semantics either way, so
+                // the switch between paths cannot perturb the schedule.
                 let mut ctx = batch_ctx[bid] + members.len() as u64;
                 let mut finished_now = 0usize;
-                members.retain(|&idx| {
-                    if pool.note_decode_step(idx, now) {
+                let mut swap_out_delay = 0.0;
+                if alloc.free_blocks() >= cohorts[bid].next_grows() as u64 {
+                    let coh = &mut cohorts[bid];
+                    coh.begin_step();
+                    coh.drain_finishers(&mut cm, &mut finishers);
+                    finished_now = finishers.len();
+                    for &(m, extends) in &finishers {
+                        alloc.advance_tokens(m as u64, extends as u64);
+                        pool.finish_decode(m, extends + 1, now);
                         // analyzer: allow(no-expect) — every batch member
                         // was allocated at admission and eviction removes
                         // it from `members`, so a finisher is resident.
-                        let freed = alloc.free(idx as u64).expect("finished request resident");
+                        let freed = alloc.free(m as u64).expect("finished request resident");
                         ctx -= freed + 1;
-                        finished_now += 1;
-                        false
-                    } else {
-                        true
+                        // `remove_request` subtracts the *tracked*
+                        // contribution, so no settle is needed first.
+                        planner.remove_request(m);
                     }
-                });
-                finished_this_phase += finished_now;
-                // 2) Extend survivors' KV; evict newest-first on overflow
-                //    (the recompute strategy of §4.1). Overflow is rare, so
-                //    the victim order is built lazily: a max-heap over
-                //    `admission_seq` (unique, so the peel order matches the
-                //    old per-victim max scan exactly) with lazy deletion —
-                //    O(log n) per eviction instead of O(n).
-                let mut i = 0;
-                let mut swap_out_delay = 0.0;
-                let mut heap_built = false;
-                while i < members.len() {
-                    if heap_built && evicted[i] {
-                        i += 1;
-                        continue;
+                    alloc.extend_cohort(coh.live() as u64, coh.step_grows() as u64);
+                    if finished_now > 0 {
+                        members.retain(|&m| pool.lifecycle(m) == Lifecycle::Decoding);
                     }
-                    let idx = members[i];
-                    if alloc.extend(idx as u64, 1).is_ok() {
-                        i += 1;
-                        continue;
+                    debug_assert_eq!(cohorts[bid].live(), members.len());
+                } else {
+                    // Materialise every member, then replay the step with
+                    // the per-member loop. Overflow is rare, so the victim
+                    // order is built lazily: a max-heap over
+                    // `admission_seq` (unique, so the peel order matches
+                    // the old per-victim max scan exactly) with lazy
+                    // deletion — O(log n) per eviction instead of O(n).
+                    for &m in &members {
+                        let p = cohorts[bid].leave(&mut cm, m);
+                        planner.advance(m, p);
+                        pool.advance_decode_steps(m, p);
+                        alloc.advance_tokens(m as u64, p as u64);
                     }
-                    if !heap_built {
-                        evicted.clear();
-                        evicted.resize(members.len(), false);
-                        evict_heap.clear();
-                        evict_heap.extend(
-                            members
-                                .iter()
-                                .enumerate()
-                                .map(|(p, &m)| (admission_seq[m], p)),
-                        );
-                        heap_built = true;
-                    }
-                    // Evict the newest member (possibly idx itself).
-                    let pos = loop {
-                        // analyzer: allow(no-expect) — the heap holds
-                        // every live member and `idx` itself is live, so
-                        // a victim always exists before exhaustion.
-                        let (_, p) = evict_heap.pop().expect("live member to evict");
-                        if !evicted[p] {
-                            break p;
+                    members.retain(|&idx| {
+                        if pool.note_decode_step(idx, now) {
+                            // analyzer: allow(no-expect) — every batch
+                            // member was allocated at admission and
+                            // eviction removes it from `members`, so a
+                            // finisher is resident.
+                            let freed = alloc.free(idx as u64).expect("finished request resident");
+                            ctx -= freed + 1;
+                            finished_now += 1;
+                            planner.remove_request(idx);
+                            false
+                        } else {
+                            true
                         }
-                    };
-                    let victim = members[pos];
-                    evicted[pos] = true;
-                    // analyzer: allow(no-expect) — victims come from
-                    // `members`, all of which hold live allocations.
-                    alloc.free(victim as u64).expect("victim resident");
-                    ctx -= pool.get(victim).resident_tokens();
-                    let mode = match e.preemption {
-                        PreemptionMode::Recompute => {
-                            pool.note_eviction(victim);
-                            EvictMode::Recompute
-                        }
-                        PreemptionMode::Swap => {
-                            // The victim's KV streams to host memory; the
-                            // batch cannot relaunch until its share of the
-                            // link is free.
-                            swap_out_delay += pool.get(victim).resident_tokens() as f64
-                                * self.cost.model().kv_bytes_per_token() as f64
-                                / e.host_link_bw;
-                            pool.note_swap_out(victim);
-                            EvictMode::Swap
-                        }
-                    };
-                    journal.record(
-                        now,
-                        TraceEvent::Evict {
-                            mode,
-                            victim: pool.get(victim).id.0,
-                        },
-                    );
-                    metrics.on_evict(mode);
-                    pending.push_front(victim);
-                    // `idx` may have been the victim; the `evicted` check at
-                    // the loop head re-routes, otherwise retry this slot.
-                }
-                if heap_built {
-                    // Compact the survivors in order (one pass, instead of
-                    // the old `Vec::remove` per victim).
-                    let mut p = 0;
-                    members.retain(|_| {
-                        let keep = !evicted[p];
-                        p += 1;
-                        keep
                     });
+                    let mut heap_built = false;
+                    let mut i = 0;
+                    while i < members.len() {
+                        if heap_built && evicted[i] {
+                            i += 1;
+                            continue;
+                        }
+                        let idx = members[i];
+                        if alloc.extend_one(idx as u64).is_ok() {
+                            i += 1;
+                            continue;
+                        }
+                        if !heap_built {
+                            evicted.clear();
+                            evicted.resize(members.len(), false);
+                            evict_heap.clear();
+                            evict_heap.extend(
+                                members
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(p, &m)| (admission_seq[m], p)),
+                            );
+                            heap_built = true;
+                        }
+                        // Evict the newest member (possibly idx itself).
+                        let pos = loop {
+                            // analyzer: allow(no-expect) — the heap holds
+                            // every live member and `idx` itself is live, so
+                            // a victim always exists before exhaustion.
+                            let (_, p) = evict_heap.pop().expect("live member to evict");
+                            if !evicted[p] {
+                                break p;
+                            }
+                        };
+                        let victim = members[pos];
+                        evicted[pos] = true;
+                        // analyzer: allow(no-expect) — victims come from
+                        // `members`, all of which hold live allocations.
+                        alloc.free(victim as u64).expect("victim resident");
+                        ctx -= pool.resident_tokens(victim);
+                        planner.remove_request(victim);
+                        let mode = match e.preemption {
+                            PreemptionMode::Recompute => {
+                                pool.note_eviction(victim);
+                                EvictMode::Recompute
+                            }
+                            PreemptionMode::Swap => {
+                                // The victim's KV streams to host memory; the
+                                // batch cannot relaunch until its share of the
+                                // link is free.
+                                swap_out_delay += pool.resident_tokens(victim) as f64
+                                    * self.cost.model().kv_bytes_per_token() as f64
+                                    / e.host_link_bw;
+                                pool.note_swap_out(victim);
+                                EvictMode::Swap
+                            }
+                        };
+                        journal.record(
+                            now,
+                            TraceEvent::Evict {
+                                mode,
+                                victim: pool.id(victim).0,
+                            },
+                        );
+                        metrics.on_evict(mode);
+                        pending.push_front(victim);
+                        est_cache.invalidate();
+                        // `idx` may have been the victim; the `evicted` check at
+                        // the loop head re-routes, otherwise retry this slot.
+                    }
+                    if heap_built {
+                        // Compact the survivors in order (one pass, instead
+                        // of the old `Vec::remove` per victim).
+                        let mut p = 0;
+                        members.retain(|_| {
+                            let keep = !evicted[p];
+                            p += 1;
+                            keep
+                        });
+                    }
+                    // Credit the step each survivor just executed in full,
+                    // then re-bank the batch as a fresh cohort.
+                    let coh = &mut cohorts[bid];
+                    coh.reset();
+                    for &m in &members {
+                        planner.advance(m, 1);
+                        coh.join(
+                            &mut cm,
+                            m,
+                            pool.resident_tokens(m),
+                            pool.output_len(m) - pool.generated(m),
+                        );
+                    }
                 }
+                finished_this_phase += finished_now;
                 now += swap_out_delay;
                 // 3) Rebalance.
                 if let Some(st) = stealer.as_mut() {
+                    let epoch = cohorts[bid].epoch();
                     let moved = st.rebalance(&mut members, finished_now, &mut ctx, |m| {
-                        pool.get(m).resident_tokens()
+                        // Banked members lag the pool by their banked
+                        // steps; settled candidates (the withheld) read
+                        // their pool state exactly.
+                        pool.resident_tokens(m) + cm.pending(m, epoch) as u64
                     });
+                    // Newly withheld members leave this batch's step
+                    // cadence: settle their banked steps now. Supplements
+                    // join it: bank them into this batch's cohort.
+                    let wh = st.withheld();
+                    for &m in &wh[wh.len() - moved.withheld..] {
+                        let p = cohorts[bid].leave(&mut cm, m);
+                        planner.advance(m, p);
+                        pool.advance_decode_steps(m, p);
+                        alloc.advance_tokens(m as u64, p as u64);
+                    }
+                    for &m in &members[members.len() - moved.supplemented..] {
+                        cohorts[bid].join(
+                            &mut cm,
+                            m,
+                            pool.resident_tokens(m),
+                            pool.output_len(m) - pool.generated(m),
+                        );
+                    }
                     if moved.withheld > 0 {
                         journal.record(
                             now,
@@ -722,12 +861,34 @@ impl TdPipeEngine {
                             self.cost
                                 .decode_job_into(mean_batch, mean_ctx.max(1), &mut job);
                             let step = job.latency();
-                            let est = self.estimate_prefill_phase(
+                            let est = est_cache.query(
                                 &pending,
                                 &pool,
-                                &alloc,
-                                &mut est_scratch,
+                                &self.cost,
+                                e.prefill_token_budget,
+                                self.plan.token_capacity(),
+                                alloc.free_blocks() * self.plan.block_size as u64,
                             );
+                            // Debug cross-check: the memoized estimate must
+                            // be bit-identical to the naive repack.
+                            #[cfg(debug_assertions)]
+                            {
+                                let mut scratch = Vec::new();
+                                let naive = self.estimate_prefill_phase(
+                                    &pending,
+                                    &pool,
+                                    &alloc,
+                                    &mut scratch,
+                                );
+                                debug_assert_eq!(
+                                    est.longest_job.to_bits(),
+                                    naive.longest_job.to_bits()
+                                );
+                                debug_assert_eq!(
+                                    est.phase_len.to_bits(),
+                                    naive.phase_len.to_bits()
+                                );
+                            }
                             let scores = comparator.decide(mean_batch, &est, step);
                             journal.record(
                                 now,
@@ -756,9 +917,17 @@ impl TdPipeEngine {
                 if !switching && inflight.is_empty() {
                     if let Some(st) = stealer.as_mut() {
                         for &m in st.withheld() {
-                            ctx += pool.get(m).resident_tokens();
+                            ctx += pool.resident_tokens(m);
+                            // Absorbed members rejoin this batch's cadence
+                            // (they were settled when withheld).
+                            cohorts[bid].join(
+                                &mut cm,
+                                m,
+                                pool.resident_tokens(m),
+                                pool.output_len(m) - pool.generated(m),
+                            );
                         }
-                        batches[bid].members.extend(st.drain());
+                        st.take_withheld_into(&mut batches[bid].members);
                     }
                 }
                 batch_ctx[bid] = ctx;
@@ -773,13 +942,22 @@ impl TdPipeEngine {
                 }
             }
 
-            // Collect survivors for the next phase.
-            for b in &mut batches {
-                residents.append(&mut b.members);
+            // Settle the banked cohort state (pool tokens, KV residency,
+            // planner advances) for members that ran to phase end — the
+            // withheld were settled when they left their batch — then keep
+            // the survivors: `residents` was never cleared, so retaining
+            // the still-decoding entries preserves admission order for the
+            // next partition.
+            for (bid, b) in batches.iter().enumerate() {
+                let coh = &mut cohorts[bid];
+                for &m in &b.members {
+                    let p = coh.leave(&mut cm, m);
+                    planner.advance(m, p);
+                    pool.advance_decode_steps(m, p);
+                    alloc.advance_tokens(m as u64, p as u64);
+                }
             }
-            if let Some(st) = stealer.as_mut() {
-                residents.extend(st.drain());
-            }
+            residents.retain(|&i| pool.lifecycle(i) == Lifecycle::Decoding);
             phases.push(PhaseRecord {
                 phase: Phase::Decode,
                 start: phase_t0,
@@ -844,6 +1022,10 @@ impl TdPipeEngine {
     /// need) into the currently free capacity, batch them exactly like the
     /// real prefill packer, and report the longest job plus the phase
     /// length.
+    ///
+    /// The hot path uses the memoized [`PrefillEstimateCache`]; this naive
+    /// walk is kept as the debug-build cross-check oracle.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     fn estimate_prefill_phase(
         &self,
         pending: &VecDeque<usize>,
@@ -868,13 +1050,12 @@ impl TdPipeEngine {
             seq_lens.clear();
         };
         for &idx in pending {
-            let s = pool.get(idx);
-            let need = (s.prefill_tokens() + s.predicted_remaining()) as u64;
+            let t = pool.prefill_tokens(idx);
+            let need = (t + pool.predicted_remaining(idx)) as u64;
             if need > free_tokens {
                 break;
             }
             free_tokens -= need;
-            let t = s.prefill_tokens();
             if batch_tokens + t > e.prefill_token_budget && !seq_lens.is_empty() {
                 flush(&mut *seq_lens, &mut longest, &mut phase_len);
                 batch_tokens = 0;

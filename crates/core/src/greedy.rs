@@ -8,8 +8,15 @@
 //! Prefill keeps going while the simulated peak stays within capacity —
 //! that is what lets TD-Pipe start decode phases with far fuller memory
 //! than a naive "stop at X% occupancy" rule, without overflowing later.
-
-use crate::request::RequestState;
+//!
+//! The planner is **incremental**: it tracks each admitted request's exact
+//! contribution, so finishing/evicting a request ([`GreedyPrefillPlanner::
+//! remove_request`]) or advancing it by a batch of decode steps
+//! ([`GreedyPrefillPlanner::advance`]) costs O(futurePoints) — phase
+//! re-seeding is O(changes), not O(residents × futurePoints). All
+//! arithmetic is exact `u64` adds/subtracts, so the incremental state is
+//! bit-identical to a from-scratch rebuild (the equivalence proptest and a
+//! debug assertion in the engine both pin this).
 
 /// The future-usage simulator behind Algorithm 1.
 ///
@@ -28,6 +35,10 @@ pub struct GreedyPrefillPlanner {
     usage: Vec<u64>,
     /// Token capacity of the KV pool.
     token_capacity: u64,
+    /// Per-request tracked contribution, id-indexed: `(current_tokens,
+    /// predicted_remaining)` exactly as accounted into `usage`. `None` for
+    /// requests the planner is not currently tracking.
+    tracked: Vec<Option<(u64, u32)>>,
 }
 
 impl GreedyPrefillPlanner {
@@ -46,33 +57,99 @@ impl GreedyPrefillPlanner {
             future_points,
             usage: vec![0; n],
             token_capacity,
+            tracked: Vec::new(),
         }
     }
 
-    /// Reset for a new prefill phase: seed usage with the requests already
-    /// resident (mid-decode) in memory.
-    pub fn reset<'a, I: IntoIterator<Item = &'a RequestState>>(&mut self, residents: I) {
+    /// Pre-size the tracking table for `n` request ids so admission never
+    /// grows it mid-run.
+    pub fn reserve_ids(&mut self, n: usize) {
+        if self.tracked.len() < n {
+            self.tracked.resize(n, None);
+        }
+    }
+
+    /// Forget every tracked request and zero the usage grid.
+    pub fn clear(&mut self) {
         self.usage.iter_mut().for_each(|u| *u = 0);
-        for r in residents {
-            self.account(r.resident_tokens(), r.predicted_remaining());
+        self.tracked.iter_mut().for_each(|t| *t = None);
+    }
+
+    /// Algorithm 1's `UpdateUsage`: account one just-admitted request with
+    /// `current_tokens` of resident KV and `predicted_remaining` output
+    /// tokens still expected.
+    ///
+    /// # Panics
+    /// Panics (debug) if `id` is already tracked — remove it first.
+    pub fn admit(&mut self, id: usize, current_tokens: u64, predicted_remaining: u32) {
+        if self.tracked.len() <= id {
+            self.tracked.resize(id + 1, None);
         }
-    }
-
-    /// Algorithm 1's `UpdateUsage`: account one just-launched prefill.
-    pub fn add_request(&mut self, state: &RequestState) {
-        self.account(state.prefill_tokens() as u64, state.predicted_remaining());
-    }
-
-    fn account(&mut self, current_tokens: u64, predicted_remaining: u32) {
-        // The grid is strictly increasing, so the points this request is
-        // still alive at form a prefix — find its end by bisection and
-        // update only that prefix (runs once per admitted request).
-        let live = self
-            .future_points
-            .partition_point(|&fp| fp <= predicted_remaining);
+        debug_assert!(self.tracked[id].is_none(), "request {id} already tracked");
+        self.tracked[id] = Some((current_tokens, predicted_remaining));
+        let live = self.live_prefix(predicted_remaining);
         for (u, &fp) in self.usage[..live].iter_mut().zip(&self.future_points[..live]) {
             *u += current_tokens + fp as u64;
         }
+    }
+
+    /// Remove a tracked request (it finished, or was evicted/swapped out):
+    /// its exact stored contribution is subtracted, so `usage` returns to
+    /// the state it would have had without the request. No settling is
+    /// required first — the stored `(c, p)` pair is whatever was last
+    /// admitted/advanced, and that is exactly what was accounted.
+    pub fn remove_request(&mut self, id: usize) {
+        let (c, p) = self.tracked[id].take().unwrap_or_else(|| {
+            // analyzer: allow(no-panic) — planner misuse is an engine bug;
+            // the debug-assert oracle in the engine catches drift earlier.
+            panic!("removing untracked request {id}")
+        });
+        let live = self.live_prefix(p);
+        for (u, &fp) in self.usage[..live].iter_mut().zip(&self.future_points[..live]) {
+            *u -= c + fp as u64;
+        }
+    }
+
+    /// Advance a tracked request by `steps` decode steps: its resident
+    /// tokens grow by `steps` and its predicted remaining output shrinks
+    /// (saturating). Cost is O(live future points), and saturating-sub
+    /// chains compose, so advancing by `a` then `b` equals advancing by
+    /// `a + b`.
+    pub fn advance(&mut self, id: usize, steps: u32) {
+        if steps == 0 {
+            return;
+        }
+        let Some((c, p)) = self.tracked[id] else {
+            // analyzer: allow(no-panic) — planner misuse is an engine bug;
+            // the debug-assert oracle in the engine catches drift earlier.
+            panic!("advancing untracked request {id}")
+        };
+        let new_p = p.saturating_sub(steps);
+        let new_c = c + steps as u64;
+        self.tracked[id] = Some((new_c, new_p));
+        let live_old = self.live_prefix(p);
+        let live_new = self.live_prefix(new_p);
+        debug_assert!(live_new <= live_old);
+        // Still-live points: contribution goes from c + fp to c' + fp.
+        for u in &mut self.usage[..live_new] {
+            *u += steps as u64;
+        }
+        // Points the request is now predicted to have finished by: its old
+        // contribution leaves entirely.
+        for (u, &fp) in self.usage[live_new..live_old]
+            .iter_mut()
+            .zip(&self.future_points[live_new..live_old])
+        {
+            *u -= c + fp as u64;
+        }
+    }
+
+    /// The future points a request with `predicted_remaining` output is
+    /// still alive at form a prefix of the (strictly increasing) grid.
+    #[inline]
+    fn live_prefix(&self, predicted_remaining: u32) -> usize {
+        self.future_points
+            .partition_point(|&fp| fp <= predicted_remaining)
     }
 
     /// Algorithm 1's `CheckSwitch`: `true` when the simulated peak usage
@@ -86,6 +163,14 @@ impl GreedyPrefillPlanner {
         self.usage.iter().copied().max().unwrap_or(0)
     }
 
+    /// The usage grid itself (one entry per future point) — exposed so
+    /// tests and the engine's debug oracle can compare incremental state
+    /// against a from-scratch rebuild.
+    #[inline]
+    pub fn usage(&self) -> &[u64] {
+        &self.usage
+    }
+
     /// Capacity the planner guards.
     #[inline]
     pub fn token_capacity(&self) -> u64 {
@@ -96,24 +181,6 @@ impl GreedyPrefillPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::Lifecycle;
-    use tdpipe_workload::RequestId;
-
-    fn req(input: u32, generated: u32, predicted: u32) -> RequestState {
-        RequestState {
-            id: RequestId(0),
-            input_len: input,
-            output_len: predicted, // irrelevant here
-            predicted,
-            generated,
-            lifecycle: Lifecycle::Decoding,
-            evictions: 0,
-            swapped: false,
-            arrival: 0.0,
-            first_token_at: f64::NAN,
-            finished_at: f64::NAN,
-        }
-    }
 
     fn planner(cap: u64) -> GreedyPrefillPlanner {
         GreedyPrefillPlanner::new(vec![32, 64, 128, 256], cap)
@@ -123,10 +190,10 @@ mod tests {
     fn short_outputs_free_memory_at_later_points() {
         let mut p = planner(1_000_000);
         // Predicted 50 output tokens: present at fp=32, gone at fp=64+.
-        p.add_request(&req(100, 0, 50));
+        p.admit(0, 100, 50);
         assert_eq!(p.peak_usage(), 100 + 32);
         // A long request dominates later points.
-        p.add_request(&req(200, 0, 300));
+        p.admit(1, 200, 300);
         // fp=32: 132 + 232 = 364; fp=256: 200 + 256 = 456 dominates.
         assert_eq!(p.peak_usage(), 456);
     }
@@ -134,11 +201,11 @@ mod tests {
     #[test]
     fn overflow_triggers_exactly_at_capacity_boundary() {
         let mut p = planner(164);
-        p.add_request(&req(100, 0, 64));
+        p.admit(0, 100, 64);
         // usage at fp=32 → 132; fp=64 → 164. Capacity 164: not exceeded.
         assert!(!p.would_overflow());
         let mut p2 = planner(163);
-        p2.add_request(&req(100, 0, 64));
+        p2.admit(0, 100, 64);
         assert!(p2.would_overflow());
     }
 
@@ -150,10 +217,9 @@ mod tests {
         let cap = 10_000u64;
         let mut p = planner(cap);
         let mut admitted_tokens = 0u64;
-        let mut n = 0;
+        let mut n = 0usize;
         loop {
-            let r = req(100, 0, 20); // present only at fp ≤ 20 → never at 32!
-            p.add_request(&r);
+            p.admit(n, 100, 20); // present only at fp ≤ 20 → never at 32!
             if p.would_overflow() {
                 break;
             }
@@ -170,14 +236,57 @@ mod tests {
     }
 
     #[test]
-    fn reset_seeds_residents() {
+    fn remove_restores_prior_state() {
         let mut p = planner(1_000);
-        let residents = [req(100, 40, 100)]; // 140 resident, 60 remaining
-        p.reset(residents.iter());
+        p.admit(0, 140, 60);
         // fp=32 ≤ 60: 140 + 32 = 172; fp=64 > 60: 0.
         assert_eq!(p.peak_usage(), 172);
-        p.reset(std::iter::empty());
+        p.admit(1, 50, 500);
+        p.remove_request(1);
+        assert_eq!(p.peak_usage(), 172);
+        p.remove_request(0);
         assert_eq!(p.peak_usage(), 0);
+    }
+
+    #[test]
+    fn advance_matches_readmission() {
+        let mut a = planner(u64::MAX);
+        a.admit(0, 140, 100);
+        a.advance(0, 40);
+        // Equivalent from-scratch: 180 resident, 60 remaining.
+        let mut b = planner(u64::MAX);
+        b.admit(0, 180, 60);
+        assert_eq!(a.usage(), b.usage());
+        // Saturating: advancing past the prediction zeroes the request's
+        // live prefix but keeps counting its resident tokens growth path.
+        a.advance(0, 100);
+        let mut c = planner(u64::MAX);
+        c.admit(0, 280, 0);
+        assert_eq!(a.usage(), c.usage());
+    }
+
+    #[test]
+    fn advance_composes() {
+        let mut a = planner(u64::MAX);
+        a.admit(7, 300, 200);
+        a.advance(7, 30);
+        a.advance(7, 50);
+        let mut b = planner(u64::MAX);
+        b.admit(7, 300, 200);
+        b.advance(7, 80);
+        assert_eq!(a.usage(), b.usage());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut p = planner(1_000);
+        p.admit(0, 100, 40);
+        p.admit(1, 100, 400);
+        p.clear();
+        assert_eq!(p.peak_usage(), 0);
+        // Ids are re-admittable after a clear.
+        p.admit(0, 10, 33);
+        assert_eq!(p.peak_usage(), 42);
     }
 
     #[test]

@@ -29,10 +29,12 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod cohort;
 pub mod config;
 pub mod control;
 pub mod cost;
 pub mod engine;
+mod estimate;
 pub mod exec;
 pub mod greedy;
 pub mod intensity;
@@ -44,7 +46,7 @@ pub mod steal;
 pub use config::{D2pPolicy, EngineConfig, P2dPolicy, PreemptionMode, TdPipeConfig};
 pub use engine::TdPipeEngine;
 pub use plan::MemoryPlan;
-pub use request::{RequestPool, RequestState};
+pub use request::{RequestArena, RequestPool};
 
 #[cfg(test)]
 mod proptests;

@@ -2,25 +2,19 @@
 
 use crate::batch::partition_even;
 use crate::greedy::GreedyPrefillPlanner;
-use crate::request::{Lifecycle, RequestState};
 use crate::steal::WorkStealer;
 use proptest::prelude::*;
-use tdpipe_workload::RequestId;
 
-fn req(input: u32, generated: u32, predicted: u32) -> RequestState {
-    RequestState {
-        id: RequestId(0),
-        input_len: input,
-        output_len: predicted.max(1),
-        predicted: predicted.max(1),
-        generated,
-        lifecycle: Lifecycle::Decoding,
-        evictions: 0,
-        swapped: false,
-        arrival: 0.0,
-        first_token_at: f64::NAN,
-        finished_at: f64::NAN,
-    }
+/// One step of a planner delta sequence (see
+/// `greedy_incremental_deltas_match_rebuild`).
+#[derive(Debug, Clone, Copy)]
+enum PlannerOp {
+    /// Admit a request with (current tokens, predicted remaining).
+    Admit(u64, u32),
+    /// Remove the `n`-th live request (modulo the live count).
+    Remove(usize),
+    /// Advance the `n`-th live request by `steps` decode steps.
+    Advance(usize, u32),
 }
 
 proptest! {
@@ -47,18 +41,20 @@ proptest! {
         let points: Vec<u32> = (1..=8).map(|i| i * 32).collect();
         let mut p = GreedyPrefillPlanner::new(points.clone(), cap);
         let mut prev_peak = 0;
-        for &(input, generated, predicted) in &reqs {
-            p.add_request(&req(input, generated, predicted));
+        for (id, &(input, generated, predicted)) in reqs.iter().enumerate() {
+            let current = input as u64 + generated as u64;
+            p.admit(id, current, predicted.max(1).saturating_sub(generated));
             let peak = p.peak_usage();
             prop_assert!(peak >= prev_peak, "usage only grows during admission");
             prev_peak = peak;
         }
-        // Reset with no residents clears everything.
-        p.reset(std::iter::empty());
+        // Clearing drops every resident.
+        p.clear();
         prop_assert_eq!(p.peak_usage(), 0);
         // Re-adding the same set reproduces the same peak (determinism).
-        for &(input, generated, predicted) in &reqs {
-            p.add_request(&req(input, generated, predicted));
+        for (id, &(input, generated, predicted)) in reqs.iter().enumerate() {
+            let current = input as u64 + generated as u64;
+            p.admit(id, current, predicted.max(1).saturating_sub(generated));
         }
         prop_assert_eq!(p.peak_usage(), prev_peak);
     }
@@ -73,11 +69,73 @@ proptest! {
         let points: Vec<u32> = (1..=32).map(|i| i * 32).collect();
         let mut p = GreedyPrefillPlanner::new(points, u64::MAX);
         let mut lower = 0u64;
-        for &(input, predicted) in &reqs {
-            p.add_request(&req(input, 0, predicted));
+        for (id, &(input, predicted)) in reqs.iter().enumerate() {
+            p.admit(id, input as u64, predicted);
             lower += input as u64 + 32;
         }
         prop_assert!(p.peak_usage() >= lower);
+    }
+
+    /// Satellite: the incremental planner deltas (admit / remove / advance)
+    /// agree with a from-scratch rebuild on the whole usage grid — and so
+    /// on `peak_usage` and `would_overflow` — across random sequences.
+    #[test]
+    fn greedy_incremental_deltas_match_rebuild(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (1u64..4096, 0u32..1200).prop_map(|(c, p)| PlannerOp::Admit(c, p)),
+                (0usize..64).prop_map(PlannerOp::Remove),
+                (0usize..64, 1u32..300).prop_map(|(n, s)| PlannerOp::Advance(n, s)),
+            ],
+            1..100,
+        ),
+        cap in 1u64..1_000_000,
+    ) {
+        let points: Vec<u32> = (1..=8).map(|i| i * 32).collect();
+        let mut planner = GreedyPrefillPlanner::new(points.clone(), cap);
+        // Shadow model: the (current, predicted-remaining) state every live
+        // request *should* have after the sequence so far.
+        let mut shadow: Vec<Option<(u64, u32)>> = Vec::new();
+        for op in ops {
+            match op {
+                PlannerOp::Admit(c, p) => {
+                    let id = shadow.len();
+                    planner.admit(id, c, p);
+                    shadow.push(Some((c, p)));
+                }
+                PlannerOp::Remove(n) => {
+                    let live: Vec<usize> =
+                        (0..shadow.len()).filter(|&i| shadow[i].is_some()).collect();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[n % live.len()];
+                    planner.remove_request(id);
+                    shadow[id] = None;
+                }
+                PlannerOp::Advance(n, steps) => {
+                    let live: Vec<usize> =
+                        (0..shadow.len()).filter(|&i| shadow[i].is_some()).collect();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[n % live.len()];
+                    planner.advance(id, steps);
+                    let (c, p) = shadow[id].unwrap();
+                    shadow[id] = Some((c + steps as u64, p.saturating_sub(steps)));
+                }
+            }
+            // Rebuild from scratch and compare the full grid.
+            let mut oracle = GreedyPrefillPlanner::new(points.clone(), cap);
+            for (id, s) in shadow.iter().enumerate() {
+                if let Some((c, p)) = s {
+                    oracle.admit(id, *c, *p);
+                }
+            }
+            prop_assert_eq!(oracle.usage(), planner.usage());
+            prop_assert_eq!(oracle.peak_usage(), planner.peak_usage());
+            prop_assert_eq!(oracle.would_overflow(), planner.would_overflow());
+        }
     }
 
     #[test]

@@ -1,7 +1,14 @@
 //! Request lifecycle tracking shared by every scheduler.
+//!
+//! Storage is an id-indexed **arena** split hot/cold: the fields every
+//! decode step, eviction scan and accounting loop touches (token counters,
+//! lifecycle) sit together in one compact per-request record, while the
+//! fields touched once per request (identity, arrival, latency timestamps)
+//! live in separate parallel arrays. A decode step over a batch therefore
+//! walks one dense array instead of chasing per-request heap objects.
 
 use tdpipe_sim::LatencySummary;
-use tdpipe_workload::stats::percentile;
+use tdpipe_workload::stats::percentile_sorted;
 use tdpipe_workload::{Request, RequestId};
 
 /// Where a request currently is in its life.
@@ -15,70 +22,49 @@ pub enum Lifecycle {
     Finished,
 }
 
-/// Mutable per-request scheduler state.
+/// The per-request fields the hot loops read and write every decode step.
+/// 24 bytes: a decode sweep touches one cache line per 2–3 requests.
 ///
 /// `output_len` is the simulator oracle: schedulers must only compare it
 /// against `generated` to detect completion (the simulated act of sampling
 /// an EOS token), never use it for planning — planning uses `predicted`.
-#[derive(Debug, Clone)]
-pub struct RequestState {
-    /// Trace-level identity.
-    pub id: RequestId,
+#[derive(Debug, Clone, Copy)]
+struct HotState {
     /// Prompt tokens.
-    pub input_len: u32,
+    input_len: u32,
     /// Oracle output length (EOS position).
-    pub output_len: u32,
+    output_len: u32,
     /// Predicted output length (filled by the configured predictor).
-    pub predicted: u32,
+    predicted: u32,
     /// Tokens generated so far.
-    pub generated: u32,
-    /// Lifecycle stage.
-    pub lifecycle: Lifecycle,
+    generated: u32,
     /// How many times this request was evicted for recomputation.
-    pub evictions: u32,
+    evictions: u32,
+    /// Lifecycle stage.
+    lifecycle: Lifecycle,
     /// Whether the request's KV currently lives in host memory (swapped
     /// out); such a request is re-admitted by a swap-in transfer instead
     /// of a recompute prefill.
-    pub swapped: bool,
-    /// Time the request entered the system (0 for offline traces).
-    pub arrival: f64,
-    /// Virtual time the first output token was produced (NaN until then).
-    pub first_token_at: f64,
-    /// Virtual time the last output token was produced (NaN until then).
-    pub finished_at: f64,
+    swapped: bool,
 }
 
-impl RequestState {
-    /// Tokens of KV this request holds while resident.
-    #[inline]
-    pub fn resident_tokens(&self) -> u64 {
-        self.input_len as u64 + self.generated as u64
-    }
-
-    /// Tokens the *next* prefill of this request must process (prompt plus
-    /// any generated tokens being recomputed after an eviction).
-    #[inline]
-    pub fn prefill_tokens(&self) -> u32 {
-        self.input_len + self.generated
-    }
-
-    /// Whether the next generated token is the last one.
-    #[inline]
-    pub fn finishes_next_step(&self) -> bool {
-        self.generated + 1 >= self.output_len
-    }
-
-    /// Predicted tokens still to generate.
-    #[inline]
-    pub fn predicted_remaining(&self) -> u32 {
-        self.predicted.saturating_sub(self.generated)
-    }
-}
-
-/// The pool of all requests in a run, with conservation accounting.
+/// The arena of all requests in a run, with conservation accounting.
+///
+/// Requests are addressed by pool index everywhere (the allocator, the
+/// planner, batch membership lists); the arena is the single source of
+/// truth for per-request state.
 #[derive(Debug, Clone)]
-pub struct RequestPool {
-    states: Vec<RequestState>,
+pub struct RequestArena {
+    /// Hot per-request state, one record per request (see [`HotState`]).
+    hot: Vec<HotState>,
+    /// Trace-level identity (cold: read for journals and error messages).
+    ids: Vec<RequestId>,
+    /// Time each request entered the system (0 for offline traces).
+    arrivals: Vec<f64>,
+    /// Virtual time the first output token was produced (NaN until then).
+    first_token_at: Vec<f64>,
+    /// Virtual time the last output token was produced (NaN until then).
+    finished_at: Vec<f64>,
     finished: usize,
     /// Prompt tokens prefilled for the first time.
     pub input_tokens: u64,
@@ -90,8 +76,11 @@ pub struct RequestPool {
     pub swapped_tokens: u64,
 }
 
-impl RequestPool {
-    /// Build the pool from trace requests, attaching predictions via
+/// The historical name for the arena; every scheduler takes one per run.
+pub type RequestPool = RequestArena;
+
+impl RequestArena {
+    /// Build the arena from trace requests, attaching predictions via
     /// `predict` (use the oracle or a trained predictor).
     pub fn new<F: FnMut(&Request) -> u32>(requests: &[Request], predict: F) -> Self {
         Self::with_arrivals(requests, &[], predict)
@@ -108,25 +97,27 @@ impl RequestPool {
             arrivals.is_empty() || arrivals.len() == requests.len(),
             "one arrival per request"
         );
-        let states = requests
+        let hot = requests
             .iter()
-            .enumerate()
-            .map(|(i, r)| RequestState {
-                id: r.id,
+            .map(|r| HotState {
                 input_len: r.input_len,
                 output_len: r.output_len.max(1),
                 predicted: predict(r).max(1),
                 generated: 0,
-                lifecycle: Lifecycle::Pending,
                 evictions: 0,
+                lifecycle: Lifecycle::Pending,
                 swapped: false,
-                arrival: arrivals.get(i).copied().unwrap_or(0.0),
-                first_token_at: f64::NAN,
-                finished_at: f64::NAN,
             })
             .collect();
-        RequestPool {
-            states,
+        let n = requests.len();
+        RequestArena {
+            hot,
+            ids: requests.iter().map(|r| r.id).collect(),
+            arrivals: (0..n)
+                .map(|i| arrivals.get(i).copied().unwrap_or(0.0))
+                .collect(),
+            first_token_at: vec![f64::NAN; n],
+            finished_at: vec![f64::NAN; n],
             finished: 0,
             input_tokens: 0,
             output_tokens: 0,
@@ -135,16 +126,16 @@ impl RequestPool {
         }
     }
 
-    /// Number of requests in the pool.
+    /// Number of requests in the arena.
     #[inline]
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.hot.len()
     }
 
-    /// Whether the pool is empty.
+    /// Whether the arena is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.hot.is_empty()
     }
 
     /// Number of finished requests.
@@ -156,29 +147,93 @@ impl RequestPool {
     /// Whether every request has finished.
     #[inline]
     pub fn all_finished(&self) -> bool {
-        self.finished == self.states.len()
+        self.finished == self.hot.len()
     }
 
-    /// Immutable state access by pool index.
+    /// Trace-level identity of request `idx`.
     #[inline]
-    pub fn get(&self, idx: usize) -> &RequestState {
-        &self.states[idx]
+    pub fn id(&self, idx: usize) -> RequestId {
+        self.ids[idx]
     }
 
-    /// Mutable state access by pool index.
+    /// Prompt tokens of request `idx`.
     #[inline]
-    pub fn get_mut(&mut self, idx: usize) -> &mut RequestState {
-        &mut self.states[idx]
+    pub fn input_len(&self, idx: usize) -> u32 {
+        self.hot[idx].input_len
+    }
+
+    /// Oracle output length of request `idx` (completion detection only).
+    #[inline]
+    pub fn output_len(&self, idx: usize) -> u32 {
+        self.hot[idx].output_len
+    }
+
+    /// Predicted output length of request `idx`.
+    #[inline]
+    pub fn predicted(&self, idx: usize) -> u32 {
+        self.hot[idx].predicted
+    }
+
+    /// Tokens request `idx` has generated so far.
+    #[inline]
+    pub fn generated(&self, idx: usize) -> u32 {
+        self.hot[idx].generated
+    }
+
+    /// Lifecycle stage of request `idx`.
+    #[inline]
+    pub fn lifecycle(&self, idx: usize) -> Lifecycle {
+        self.hot[idx].lifecycle
+    }
+
+    /// Recompute-eviction count of request `idx`.
+    #[inline]
+    pub fn evictions(&self, idx: usize) -> u32 {
+        self.hot[idx].evictions
+    }
+
+    /// Whether request `idx`'s KV currently lives in host memory.
+    #[inline]
+    pub fn swapped(&self, idx: usize) -> bool {
+        self.hot[idx].swapped
+    }
+
+    /// Arrival time of request `idx`.
+    #[inline]
+    pub fn arrival(&self, idx: usize) -> f64 {
+        self.arrivals[idx]
+    }
+
+    /// Tokens of KV request `idx` holds while resident.
+    #[inline]
+    pub fn resident_tokens(&self, idx: usize) -> u64 {
+        let h = &self.hot[idx];
+        h.input_len as u64 + h.generated as u64
+    }
+
+    /// Tokens the *next* prefill of request `idx` must process (prompt
+    /// plus any generated tokens being recomputed after an eviction).
+    #[inline]
+    pub fn prefill_tokens(&self, idx: usize) -> u32 {
+        let h = &self.hot[idx];
+        h.input_len + h.generated
+    }
+
+    /// Predicted tokens request `idx` has still to generate.
+    #[inline]
+    pub fn predicted_remaining(&self, idx: usize) -> u32 {
+        let h = &self.hot[idx];
+        h.predicted.saturating_sub(h.generated)
     }
 
     /// Record that request `idx` was prefilled (`tokens` processed). The
     /// first prefill counts toward `input_tokens`; re-prefills after
     /// eviction count toward `recomputed_tokens`.
     pub fn note_prefill(&mut self, idx: usize, tokens: u32) {
-        let s = &mut self.states[idx];
-        debug_assert_eq!(s.lifecycle, Lifecycle::Pending);
-        s.lifecycle = Lifecycle::Decoding;
-        if s.evictions == 0 {
+        let h = &mut self.hot[idx];
+        debug_assert_eq!(h.lifecycle, Lifecycle::Pending);
+        h.lifecycle = Lifecycle::Decoding;
+        if h.evictions == 0 {
             self.input_tokens += tokens as u64;
         } else {
             self.recomputed_tokens += tokens as u64;
@@ -189,27 +244,65 @@ impl RequestPool {
     /// (the end of its prefill job). Set-once: recomputation after an
     /// eviction does not move the original first-token time.
     pub fn note_first_token(&mut self, idx: usize, at: f64) {
-        let s = &mut self.states[idx];
-        if s.first_token_at.is_nan() {
-            s.first_token_at = at;
+        let t = &mut self.first_token_at[idx];
+        if t.is_nan() {
+            *t = at;
         }
     }
 
     /// Advance request `idx` by one generated token at virtual time `now`;
     /// returns `true` when the request just finished.
     pub fn note_decode_step(&mut self, idx: usize, now: f64) -> bool {
-        let s = &mut self.states[idx];
-        debug_assert_eq!(s.lifecycle, Lifecycle::Decoding);
-        s.generated += 1;
+        let h = &mut self.hot[idx];
+        debug_assert_eq!(h.lifecycle, Lifecycle::Decoding);
+        h.generated += 1;
         self.output_tokens += 1;
-        if s.generated >= s.output_len {
-            s.lifecycle = Lifecycle::Finished;
-            s.finished_at = now;
+        if h.generated >= h.output_len {
+            h.lifecycle = Lifecycle::Finished;
+            self.finished_at[idx] = now;
             self.finished += 1;
             true
         } else {
             false
         }
+    }
+
+    /// Settle `steps` banked decode steps on a *surviving* request — the
+    /// bulk equivalent of `steps` [`note_decode_step`](Self::note_decode_step)
+    /// calls none of which finishes it. The event-driven decode cohort
+    /// (see `crate::cohort`) banks generated tokens as arithmetic and
+    /// materialises them here only when a member leaves its batch.
+    pub fn advance_decode_steps(&mut self, idx: usize, steps: u32) {
+        if steps == 0 {
+            return;
+        }
+        let h = &mut self.hot[idx];
+        debug_assert_eq!(h.lifecycle, Lifecycle::Decoding);
+        h.generated += steps;
+        debug_assert!(
+            h.generated < h.output_len,
+            "survivor settled past its last token"
+        );
+        self.output_tokens += steps as u64;
+    }
+
+    /// Settle `steps` decode steps of which the *last* finishes the
+    /// request at virtual time `now` — the bulk equivalent of `steps`
+    /// [`note_decode_step`](Self::note_decode_step) calls where only the
+    /// final one returns `true`.
+    pub fn finish_decode(&mut self, idx: usize, steps: u32, now: f64) {
+        debug_assert!(steps >= 1, "a finish settles at least its own step");
+        let h = &mut self.hot[idx];
+        debug_assert_eq!(h.lifecycle, Lifecycle::Decoding);
+        h.generated += steps;
+        debug_assert_eq!(
+            h.generated, h.output_len,
+            "finish epoch must land exactly on the last token"
+        );
+        h.lifecycle = Lifecycle::Finished;
+        self.output_tokens += steps as u64;
+        self.finished_at[idx] = now;
+        self.finished += 1;
     }
 
     /// Per-request latency distribution; `None` until every request has
@@ -221,71 +314,80 @@ impl RequestPool {
         let mut ttft = Vec::with_capacity(self.len());
         let mut done = Vec::with_capacity(self.len());
         let mut tpot = Vec::with_capacity(self.len());
-        for s in &self.states {
-            if s.first_token_at.is_nan() || s.finished_at.is_nan() {
+        for idx in 0..self.len() {
+            let first = self.first_token_at[idx];
+            let fin = self.finished_at[idx];
+            if first.is_nan() || fin.is_nan() {
                 return None;
             }
-            ttft.push(s.first_token_at - s.arrival);
-            done.push(s.finished_at - s.arrival);
+            let arrival = self.arrivals[idx];
+            ttft.push(first - arrival);
+            done.push(fin - arrival);
             // Time per output token: the decode span divided by the tokens
             // generated after the first (a single-token request decodes
             // nothing further and contributes 0).
-            tpot.push(
-                (s.finished_at - s.first_token_at) / (s.output_len.max(2) - 1) as f64,
-            );
+            tpot.push((fin - first) / (self.hot[idx].output_len.max(2) - 1) as f64);
         }
+        // Means sum in request order (the order the old per-percentile
+        // clones never disturbed); then sort each field once and
+        // interpolate all its percentiles from the sorted copy.
+        let ttft_mean = ttft.iter().sum::<f64>() / ttft.len() as f64;
+        let completion_mean = done.iter().sum::<f64>() / done.len() as f64;
+        ttft.sort_by(f64::total_cmp);
+        done.sort_by(f64::total_cmp);
+        tpot.sort_by(f64::total_cmp);
         Some(LatencySummary {
-            ttft_mean: ttft.iter().sum::<f64>() / ttft.len() as f64,
-            ttft_p50: percentile(&ttft, 50.0),
-            ttft_p95: percentile(&ttft, 95.0),
-            ttft_p99: percentile(&ttft, 99.0),
-            tpot_p50: percentile(&tpot, 50.0),
-            tpot_p95: percentile(&tpot, 95.0),
-            completion_mean: done.iter().sum::<f64>() / done.len() as f64,
-            completion_p50: percentile(&done, 50.0),
-            completion_p99: percentile(&done, 99.0),
+            ttft_mean,
+            ttft_p50: percentile_sorted(&ttft, 50.0),
+            ttft_p95: percentile_sorted(&ttft, 95.0),
+            ttft_p99: percentile_sorted(&ttft, 99.0),
+            tpot_p50: percentile_sorted(&tpot, 50.0),
+            tpot_p95: percentile_sorted(&tpot, 95.0),
+            completion_mean,
+            completion_p50: percentile_sorted(&done, 50.0),
+            completion_p99: percentile_sorted(&done, 99.0),
         })
     }
 
     /// Record a recompute-eviction: the request keeps its generated tokens
     /// (they will be recomputed) and returns to the pending queue.
     pub fn note_eviction(&mut self, idx: usize) {
-        let s = &mut self.states[idx];
-        debug_assert_eq!(s.lifecycle, Lifecycle::Decoding);
-        s.lifecycle = Lifecycle::Pending;
-        s.evictions += 1;
+        let h = &mut self.hot[idx];
+        debug_assert_eq!(h.lifecycle, Lifecycle::Decoding);
+        h.lifecycle = Lifecycle::Pending;
+        h.evictions += 1;
     }
 
     /// Record a swap-out: the KV moves to host memory; the request rejoins
     /// the pending queue flagged for swap-in re-admission.
     pub fn note_swap_out(&mut self, idx: usize) {
-        let s = &mut self.states[idx];
-        debug_assert_eq!(s.lifecycle, Lifecycle::Decoding);
-        s.lifecycle = Lifecycle::Pending;
-        s.swapped = true;
-        s.evictions += 1;
-        self.swapped_tokens += s.resident_tokens();
+        let h = &mut self.hot[idx];
+        debug_assert_eq!(h.lifecycle, Lifecycle::Decoding);
+        h.lifecycle = Lifecycle::Pending;
+        h.swapped = true;
+        h.evictions += 1;
+        self.swapped_tokens += h.input_len as u64 + h.generated as u64;
     }
 
     /// Record a swap-in of `tokens` resident tokens (the transfer back).
     pub fn note_swap_in(&mut self, idx: usize, tokens: u64) {
-        let s = &mut self.states[idx];
-        debug_assert_eq!(s.lifecycle, Lifecycle::Pending);
-        debug_assert!(s.swapped, "swap-in of a non-swapped request");
-        s.lifecycle = Lifecycle::Decoding;
-        s.swapped = false;
+        let h = &mut self.hot[idx];
+        debug_assert_eq!(h.lifecycle, Lifecycle::Pending);
+        debug_assert!(h.swapped, "swap-in of a non-swapped request");
+        h.lifecycle = Lifecycle::Decoding;
+        h.swapped = false;
         self.swapped_tokens += tokens;
     }
 
     /// Panic unless every request finished exactly (conservation check for
     /// integration tests).
     pub fn assert_conserved(&self) {
-        assert_eq!(self.finished, self.states.len(), "unfinished requests");
-        for s in &self.states {
-            assert_eq!(s.lifecycle, Lifecycle::Finished, "{} not finished", s.id);
-            assert_eq!(s.generated, s.output_len, "{} wrong token count", s.id);
+        assert_eq!(self.finished, self.hot.len(), "unfinished requests");
+        for (i, h) in self.hot.iter().enumerate() {
+            assert_eq!(h.lifecycle, Lifecycle::Finished, "{} not finished", self.ids[i]);
+            assert_eq!(h.generated, h.output_len, "{} wrong token count", self.ids[i]);
         }
-        let expect: u64 = self.states.iter().map(|s| s.output_len as u64).sum();
+        let expect: u64 = self.hot.iter().map(|h| h.output_len as u64).sum();
         assert_eq!(self.output_tokens, expect, "output token accounting drift");
     }
 }
@@ -303,9 +405,9 @@ mod tests {
     #[test]
     fn lifecycle_happy_path() {
         let mut p = pool(3);
-        let out = p.get(0).output_len;
-        p.note_prefill(0, p.get(0).input_len);
-        assert_eq!(p.get(0).lifecycle, Lifecycle::Decoding);
+        let out = p.output_len(0);
+        p.note_prefill(0, p.input_len(0));
+        assert_eq!(p.lifecycle(0), Lifecycle::Decoding);
         for step in 0..out {
             let finished = p.note_decode_step(0, step as f64);
             assert_eq!(finished, step + 1 == out);
@@ -315,17 +417,58 @@ mod tests {
     }
 
     #[test]
+    fn bulk_decode_settles_match_per_step_notes() {
+        // The cohort settle paths must be byte-for-byte the same as the
+        // equivalent sequence of note_decode_step calls.
+        let mut bulk = pool(2);
+        let mut step = pool(2);
+        for idx in 0..2 {
+            bulk.note_prefill(idx, bulk.input_len(idx));
+            step.note_prefill(idx, step.input_len(idx));
+        }
+        let out = bulk.output_len(0);
+        // Request 0: settle all but the last step in one call, then finish.
+        bulk.advance_decode_steps(0, out - 1);
+        bulk.finish_decode(0, 1, 7.25);
+        for s in 0..out {
+            step.note_decode_step(0, 7.25 + s as f64 * 0.0); // same finish stamp
+        }
+        // Request 1: finish in a single bulk call.
+        let out1 = bulk.output_len(1);
+        bulk.finish_decode(1, out1, 9.5);
+        for _ in 0..out1 {
+            step.note_decode_step(1, 9.5);
+        }
+        assert_eq!(bulk.finished(), step.finished());
+        assert_eq!(bulk.output_tokens, step.output_tokens);
+        for idx in 0..2 {
+            assert_eq!(bulk.generated(idx), step.generated(idx));
+            assert_eq!(bulk.lifecycle(idx), step.lifecycle(idx));
+        }
+        bulk.assert_conserved();
+    }
+
+    #[test]
+    fn zero_step_settle_is_a_noop() {
+        let mut p = pool(1);
+        p.note_prefill(0, p.input_len(0));
+        p.advance_decode_steps(0, 0);
+        assert_eq!(p.generated(0), 0);
+        assert_eq!(p.output_tokens, 0);
+    }
+
+    #[test]
     fn eviction_recomputes() {
         let mut p = pool(1);
-        let input = p.get(0).input_len;
+        let input = p.input_len(0);
         p.note_prefill(0, input);
         p.note_decode_step(0, 0.5); // at least 1 token generated (output_len >= 1)
-        if p.get(0).lifecycle == Lifecycle::Finished {
+        if p.lifecycle(0) == Lifecycle::Finished {
             return; // 1-token output: nothing to evict
         }
         p.note_eviction(0);
-        assert_eq!(p.get(0).lifecycle, Lifecycle::Pending);
-        assert_eq!(p.get(0).prefill_tokens(), input + 1);
+        assert_eq!(p.lifecycle(0), Lifecycle::Pending);
+        assert_eq!(p.prefill_tokens(0), input + 1);
         p.note_prefill(0, input + 1);
         assert_eq!(p.recomputed_tokens, (input + 1) as u64);
         assert_eq!(p.input_tokens, input as u64);
@@ -347,11 +490,11 @@ mod tests {
         let arrivals = [0.0, 10.0];
         let mut p = RequestPool::with_arrivals(t.requests(), &arrivals, |r| r.output_len);
         for idx in 0..2 {
-            p.note_prefill(idx, p.get(idx).input_len);
+            p.note_prefill(idx, p.input_len(idx));
             // First token exactly 1s after arrival, one token per second
             // after that.
             p.note_first_token(idx, arrivals[idx] + 1.0);
-            for step in 0..p.get(idx).output_len {
+            for step in 0..p.output_len(idx) {
                 p.note_decode_step(idx, arrivals[idx] + 1.0 + (step + 1) as f64);
             }
         }
@@ -374,7 +517,7 @@ mod tests {
         assert!(s.tpot_p95 >= s.tpot_p50);
         // finished_at lands at arrival + 1 + output_len.
         let mean_expect = (0..2)
-            .map(|i| 1.0 + p.get(i).output_len as f64)
+            .map(|i| 1.0 + p.output_len(i) as f64)
             .sum::<f64>()
             / 2.0;
         assert!((s.completion_mean - mean_expect).abs() < 1e-9);
@@ -383,8 +526,16 @@ mod tests {
     #[test]
     fn predicted_remaining_saturates() {
         let mut p = pool(1);
-        p.get_mut(0).predicted = 5;
-        p.get_mut(0).generated = 9;
-        assert_eq!(p.get(0).predicted_remaining(), 0);
+        p.hot[0].predicted = 5;
+        p.hot[0].generated = 9;
+        assert_eq!(p.predicted_remaining(0), 0);
+    }
+
+    #[test]
+    fn hot_state_stays_one_third_of_a_cache_line() {
+        // The arena's point: a decode sweep reads 24 bytes per request,
+        // not a pointer chase. Growing this struct is a perf regression —
+        // move anything not read per-step into the cold arrays instead.
+        assert!(std::mem::size_of::<HotState>() <= 24);
     }
 }

@@ -59,6 +59,19 @@ impl WorkStealer {
         }
     }
 
+    /// Re-seed for a new decode phase, reusing the window and pool
+    /// storage (capacity survives, so the steady-state engine allocates
+    /// nothing per phase switch).
+    ///
+    /// # Panics
+    /// Panics if `initial_sizes` is empty.
+    pub fn reset(&mut self, initial_sizes: &[usize]) {
+        assert!(!initial_sizes.is_empty(), "need at least one batch");
+        self.window.clear();
+        self.window.extend(initial_sizes.iter().copied());
+        self.withheld.clear();
+    }
+
     /// Rebalance a returned batch. `members` must already have finished
     /// requests removed; `finished_now` is how many were just removed.
     ///
@@ -127,6 +140,13 @@ impl WorkStealer {
     /// re-partitioned with everything else at the next phase switch).
     pub fn drain(&mut self) -> Vec<usize> {
         std::mem::take(&mut self.withheld)
+    }
+
+    /// Move the withheld pool into `out` without giving up this stealer's
+    /// buffer capacity (the last live batch absorbs strays this way).
+    pub fn take_withheld_into(&mut self, out: &mut Vec<usize>) {
+        out.extend_from_slice(&self.withheld);
+        self.withheld.clear();
     }
 
     /// Current sliding-window target batch size: exactly what
@@ -288,6 +308,39 @@ mod tests {
         assert_eq!(o2.withheld, 0);
         assert_eq!(o2.supplemented, light.len() - before);
         assert!(o2.supplemented > 0, "pool had stock to hand out");
+    }
+
+    #[test]
+    fn reset_matches_fresh_stealer() {
+        let mut used = WorkStealer::new(&[4, 4]);
+        let mut big: Vec<usize> = (0..10).collect();
+        used.on_batch_return(&mut big, 0);
+        assert!(!used.withheld().is_empty());
+        used.reset(&[7, 9, 3]);
+        let fresh = WorkStealer::new(&[7, 9, 3]);
+        assert_eq!(used.current_target(), fresh.current_target());
+        assert!(used.withheld().is_empty());
+        let mut a: Vec<usize> = (0..20).collect();
+        let mut b = a.clone();
+        let mut u = used;
+        let mut f = fresh;
+        let oa = u.rebalance(&mut a, 1, &mut 0, |_| 0);
+        let ob = f.rebalance(&mut b, 1, &mut 0, |_| 0);
+        assert_eq!(oa, ob);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn take_withheld_into_moves_the_pool() {
+        let mut s = WorkStealer::new(&[4, 4]);
+        let mut big: Vec<usize> = (0..10).collect();
+        s.on_batch_return(&mut big, 0);
+        let n = s.withheld().len();
+        assert!(n > 0);
+        let mut out = vec![99];
+        s.take_withheld_into(&mut out);
+        assert_eq!(out.len(), 1 + n);
+        assert!(s.withheld().is_empty());
     }
 
     #[test]

@@ -262,6 +262,174 @@ impl BlockAllocator {
         Ok(())
     }
 
+    /// Append one token to a resident request — the single-token special
+    /// case of [`extend`](Self::extend), which is the hottest call in the
+    /// simulator (once per surviving batch member per decode step). A new
+    /// block is needed exactly when the trailing block is full, which a
+    /// multiply-compare detects without the general `div_ceil`.
+    pub fn extend_one(&mut self, id: u64) -> Result<(), KvError> {
+        let free = self.num_blocks - self.used_blocks;
+        let block_size = self.block_size as u64;
+        let r = self
+            .residents
+            .get_mut(id as usize)
+            .and_then(Option::as_mut)
+            .ok_or(KvError::UnknownRequest(id))?;
+        let grows = r.tokens == r.blocks * block_size;
+        if grows && free == 0 {
+            self.stats.oom_rejections += 1;
+            return Err(KvError::OutOfMemory {
+                needed: 1,
+                available: 0,
+            });
+        }
+        r.tokens += 1;
+        self.resident_tokens += 1;
+        self.stats.extends += 1;
+        if grows {
+            r.blocks += 1;
+            self.used_blocks += 1;
+            if self.used_blocks > self.stats.used_blocks_high_water {
+                self.stats.used_blocks_high_water = self.used_blocks;
+            }
+        }
+        Ok(())
+    }
+
+    /// Append one token to each id in order — the batched form of
+    /// [`extend_one`](Self::extend_one) for a decode step where overflow is
+    /// impossible. The caller must check `free_blocks() >= ids.len()`
+    /// first: each id grows by at most one block, so under that guard the
+    /// per-call out-of-memory branch can be hoisted out of the loop while
+    /// producing a state (and stats) identical to the sequential calls.
+    ///
+    /// # Panics
+    /// Panics if an id is not resident, or if the batch overflows the pool
+    /// (the caller's guard was missing — a bug, not a schedulable event).
+    pub fn extend_one_each<I: IntoIterator<Item = u64>>(&mut self, ids: I) {
+        let block_size = self.block_size as u64;
+        let mut grown = 0u64;
+        let mut count = 0u64;
+        for id in ids {
+            let r = self
+                .residents
+                .get_mut(id as usize)
+                .and_then(Option::as_mut)
+                // analyzer: allow(no-expect) — same contract as the
+                // per-call path: batch members are always resident.
+                .expect("batch member resident");
+            if r.tokens == r.blocks * block_size {
+                r.blocks += 1;
+                grown += 1;
+            }
+            r.tokens += 1;
+            count += 1;
+        }
+        self.used_blocks += grown;
+        // analyzer: allow(no-panic) — guard violation is a caller bug;
+        // the per-call path would have rejected the overflowing extend.
+        assert!(
+            self.used_blocks <= self.num_blocks,
+            "extend_one_each caller must guard free_blocks() >= ids.len()"
+        );
+        self.resident_tokens += count;
+        self.stats.extends += count;
+        // Used blocks grow monotonically across the batch, so one final
+        // high-water update equals the sequential per-call updates.
+        if self.used_blocks > self.stats.used_blocks_high_water {
+            self.stats.used_blocks_high_water = self.used_blocks;
+        }
+    }
+
+    /// Aggregate accounting for one event-driven decode step (see
+    /// `tdpipe_core::cohort`): `live` residents each gained one token and
+    /// `grows` of them crossed a block boundary. Pool counters and stats
+    /// move exactly as `live` sequential [`extend_one`](Self::extend_one)
+    /// calls would (used blocks are monotone within the step, so one final
+    /// high-water update is identical); the per-id records are settled
+    /// later via [`advance_tokens`](Self::advance_tokens).
+    ///
+    /// # Panics
+    /// Panics if the step overflows the pool — callers must guard
+    /// `free_blocks() >= grows` before the step.
+    pub fn extend_cohort(&mut self, live: u64, grows: u64) {
+        debug_assert!(grows <= live, "more block growths than live members");
+        self.used_blocks += grows;
+        // analyzer: allow(no-panic) — guard violation is a caller bug;
+        // the per-call path would have rejected the overflowing extend.
+        assert!(
+            self.used_blocks <= self.num_blocks,
+            "extend_cohort caller must guard free_blocks() >= grows"
+        );
+        self.resident_tokens += live;
+        self.stats.extends += live;
+        if self.used_blocks > self.stats.used_blocks_high_water {
+            self.stats.used_blocks_high_water = self.used_blocks;
+        }
+    }
+
+    /// [`extend_cohort`](Self::extend_cohort) for a banked decode step
+    /// that evicted: `survivors` members stay banked (one token each),
+    /// the step's extends consumed `grows` blocks (including blocks taken
+    /// by members evicted later in the same step — their `free` already
+    /// returned them, which is why this runs after the victims settle),
+    /// `extra_extends` victims received their step token before being
+    /// evicted, and the walk hit OutOfMemory `rejections` times (once per
+    /// eviction). Each rejection happened with the pool saturated, so the
+    /// high-water mark pins to the full pool exactly as the per-call
+    /// path's transient peak did.
+    ///
+    /// # Panics
+    /// Panics if the net step overflows the pool (a caller bug: the
+    /// per-call path cannot end a step above capacity).
+    pub fn extend_survivors(
+        &mut self,
+        survivors: u64,
+        grows: u64,
+        extra_extends: u64,
+        rejections: u64,
+    ) {
+        self.used_blocks += grows;
+        // analyzer: allow(no-panic) — see extend_cohort.
+        assert!(
+            self.used_blocks <= self.num_blocks,
+            "extend_survivors ended the step above capacity"
+        );
+        self.resident_tokens += survivors + extra_extends;
+        self.stats.extends += survivors + extra_extends;
+        self.stats.oom_rejections += rejections;
+        if rejections > 0 {
+            self.stats.used_blocks_high_water = self.num_blocks;
+        } else if self.used_blocks > self.stats.used_blocks_high_water {
+            self.stats.used_blocks_high_water = self.used_blocks;
+        }
+    }
+
+    /// Settle `steps` banked single-token extends on one resident whose
+    /// aggregate accounting was already applied by
+    /// [`extend_cohort`](Self::extend_cohort): only the per-id record
+    /// moves (no pool counters, no stats). Must run before any per-id
+    /// read — [`free`](Self::free), [`tokens_of`](Self::tokens_of) — and
+    /// before the request's next non-cohort extend.
+    ///
+    /// # Panics
+    /// Panics if `id` is not resident.
+    pub fn advance_tokens(&mut self, id: u64, steps: u64) {
+        if steps == 0 {
+            return;
+        }
+        let block_size = self.block_size as u64;
+        let r = self
+            .residents
+            .get_mut(id as usize)
+            .and_then(Option::as_mut)
+            // analyzer: allow(no-expect) — same contract as the per-call
+            // path: cohort members are always resident.
+            .expect("cohort member resident");
+        r.tokens += steps;
+        r.blocks = r.tokens.div_ceil(block_size);
+    }
+
     /// Release a request's blocks (completion, or recompute-eviction).
     /// Returns the number of tokens that were resident.
     pub fn free(&mut self, id: u64) -> Result<u64, KvError> {
@@ -404,6 +572,94 @@ mod tests {
         assert_eq!(s.extends, 1);
         assert_eq!(s.oom_rejections, 1);
         assert_eq!(s.used_blocks_high_water, 4);
+    }
+
+    #[test]
+    fn extend_one_each_matches_sequential_extends() {
+        let mut fast = BlockAllocator::new(100, 4);
+        let mut slow = BlockAllocator::new(100, 4);
+        for id in 0..3u64 {
+            fast.allocate(id, 3 + id).unwrap();
+            slow.allocate(id, 3 + id).unwrap();
+        }
+        for _ in 0..10 {
+            assert!(fast.free_blocks() >= 3);
+            fast.extend_one_each(0..3u64);
+            for id in 0..3u64 {
+                slow.extend_one(id).unwrap();
+            }
+        }
+        for id in 0..3u64 {
+            assert_eq!(fast.tokens_of(id).unwrap(), slow.tokens_of(id).unwrap());
+        }
+        assert_eq!(fast.used_blocks(), slow.used_blocks());
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn extend_one_matches_extend_by_one() {
+        let mut fast = BlockAllocator::new(3, 4);
+        let mut slow = BlockAllocator::new(3, 4);
+        fast.allocate(1, 3).unwrap();
+        slow.allocate(1, 3).unwrap();
+        for _ in 0..9 {
+            assert_eq!(fast.extend_one(1).is_ok(), slow.extend(1, 1).is_ok());
+            assert_eq!(fast.tokens_of(1).ok(), slow.tokens_of(1).ok());
+            assert_eq!(fast.used_blocks(), slow.used_blocks());
+            assert_eq!(fast.stats(), slow.stats());
+        }
+        // Both ended OOM at the 12-token pool boundary.
+        assert_eq!(fast.tokens_of(1).unwrap(), 12);
+        assert!(fast.extend_one(1).is_err());
+        assert_eq!(fast.extend_one(9).unwrap_err(), KvError::UnknownRequest(9));
+    }
+
+    #[test]
+    fn cohort_extends_match_sequential_extends() {
+        // Lazy cohort accounting (aggregate now, per-id settle later)
+        // must be indistinguishable from per-step `extend_one` calls.
+        let mut fast = BlockAllocator::new(100, 4);
+        let mut slow = BlockAllocator::new(100, 4);
+        for id in 0..3u64 {
+            fast.allocate(id, 3 + id).unwrap();
+            slow.allocate(id, 3 + id).unwrap();
+        }
+        let steps = 10u64;
+        for s in 0..steps {
+            // Member `id` (3 + id tokens at join) grows when its token
+            // count entering the step is a multiple of the block size.
+            let grows = (0..3u64).filter(|id| (3 + id + s) % 4 == 0).count() as u64;
+            fast.extend_cohort(3, grows);
+            for id in 0..3u64 {
+                slow.extend_one(id).unwrap();
+            }
+            assert_eq!(fast.used_blocks(), slow.used_blocks());
+            assert_eq!(fast.stats(), slow.stats());
+            assert_eq!(fast.resident_tokens(), slow.resident_tokens());
+        }
+        for id in 0..3u64 {
+            fast.advance_tokens(id, steps);
+            assert_eq!(fast.tokens_of(id).unwrap(), slow.tokens_of(id).unwrap());
+            assert_eq!(fast.free(id).unwrap(), slow.free(id).unwrap());
+        }
+        assert_eq!(fast.used_blocks(), 0);
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "guard")]
+    fn cohort_extend_overflow_is_a_caller_bug() {
+        let mut a = BlockAllocator::new(2, 4);
+        a.allocate(0, 8).unwrap();
+        a.extend_cohort(1, 1);
+    }
+
+    #[test]
+    fn advance_tokens_zero_steps_is_a_noop() {
+        let mut a = BlockAllocator::new(10, 4);
+        a.allocate(7, 5).unwrap();
+        a.advance_tokens(7, 0);
+        assert_eq!(a.tokens_of(7).unwrap(), 5);
     }
 
     #[test]

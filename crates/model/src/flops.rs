@@ -95,19 +95,40 @@ impl ModelSpec {
     /// Work of one layer for a **prefill** batch of the given sequence
     /// lengths (each sequence is processed in full, causally).
     pub fn prefill_layer_work(&self, seq_lens: &[u32]) -> LayerWork {
+        let mut tokens = 0u64;
+        let mut attn_flops = 0.0;
+        for &s in seq_lens {
+            let s_f = s as f64;
+            tokens += s_f as u64;
+            attn_flops += self.prefill_attn_flops(s);
+        }
+        self.prefill_layer_work_from_parts(tokens, attn_flops)
+    }
+
+    /// Causal-attention FLOPs of prefilling one sequence of `seq_len`
+    /// tokens: sum_k 4·k·h ≈ 2·s²·h. This is the only sequence-shape-
+    /// dependent (and therefore accumulation-order-sensitive) term of
+    /// [`Self::prefill_layer_work`]; callers that cache per-batch prefix
+    /// sums accumulate these in admission order and rebuild the full
+    /// `LayerWork` bit-identically via
+    /// [`Self::prefill_layer_work_from_parts`].
+    #[inline]
+    pub fn prefill_attn_flops(&self, seq_len: u32) -> f64 {
+        let h = self.hidden as f64;
+        let s = seq_len as f64;
+        2.0 * s * s * h
+    }
+
+    /// Rebuild a prefill [`LayerWork`] from its sufficient statistics: the
+    /// token total and the accumulated attention FLOPs. Every other field
+    /// is a pure function of the token total, so
+    /// `prefill_layer_work(lens) == prefill_layer_work_from_parts(t, a)`
+    /// bit-for-bit whenever `t`/`a` were accumulated in the same order.
+    pub fn prefill_layer_work_from_parts(&self, tokens: u64, attn_flops: f64) -> LayerWork {
         let h = self.hidden as f64;
         let pb = self.precision.bytes() as f64;
         let params = self.params_per_layer() as f64;
         let kv_tok = self.kv_bytes_per_token_per_layer() as f64;
-
-        let mut tokens = 0u64;
-        let mut attn_flops = 0.0;
-        for &s in seq_lens {
-            let s = s as f64;
-            tokens += s as u64;
-            // Causal attention: sum_k 4·k·h ≈ 2·s²·h.
-            attn_flops += 2.0 * s * s * h;
-        }
         let t = tokens as f64;
         LayerWork {
             flops: 2.0 * t * params + attn_flops,

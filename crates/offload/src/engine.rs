@@ -74,7 +74,7 @@ impl OffloadEngine {
                          alloc: &BlockAllocator| match pending.front() {
             None => false,
             Some(&idx) => {
-                let t = pool.get(idx).prefill_tokens() as u64;
+                let t = pool.prefill_tokens(idx) as u64;
                 alloc.free_blocks() >= t.div_ceil(self.cfg.block_size as u64) + watermark
             }
         };
@@ -89,7 +89,7 @@ impl OffloadEngine {
                     && head_fits(&pending, &pool, &alloc)
                 {
                     let idx = *pending.front().expect("head fits");
-                    let t = pool.get(idx).prefill_tokens();
+                    let t = pool.prefill_tokens(idx);
                     if !batch.is_empty() && tokens + t > self.cfg.prefill_token_budget {
                         break;
                     }
@@ -108,7 +108,7 @@ impl OffloadEngine {
                 now = timing.finish + self.cfg.engine_overhead;
                 residents.extend(batch);
             } else if !residents.is_empty() {
-                let ctx: u64 = residents.iter().map(|&i| pool.get(i).resident_tokens()).sum();
+                let ctx: u64 = residents.iter().map(|&i| pool.resident_tokens(i)).sum();
                 let t = self.cost.decode_time(residents.len(), ctx, host_bw);
                 let timing = sim.launch_monolithic(now, t, SegmentKind::Decode, 1);
                 now = timing.finish + self.cfg.engine_overhead;
@@ -117,7 +117,7 @@ impl OffloadEngine {
                         alloc.free(idx as u64).expect("resident");
                         false
                     } else {
-                        alloc.extend(idx as u64, 1).expect("host pool is huge");
+                        alloc.extend_one(idx as u64).expect("host pool is huge");
                         true
                     }
                 });

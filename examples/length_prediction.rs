@@ -58,7 +58,7 @@ fn main() {
         GreedyPrefillPlanner::new((1..=32).map(|i| i * 32).collect(), 200_000);
     let mut admitted = 0;
     for i in 0..pool.len() {
-        planner.add_request(pool.get(i));
+        planner.admit(i, pool.prefill_tokens(i) as u64, pool.predicted_remaining(i));
         if planner.would_overflow() {
             break;
         }

@@ -14,6 +14,13 @@
 #      the baseline deliberately when a change is intentional:
 #        target/release/tdpipe-cli run --scheduler td --requests 200 \
 #          --metrics-out metrics.baseline.json)
+#   7. perf-trajectory smoke: a quick (200-request, 1-rep, no scale
+#      cells) perf_trajectory run into a temp file, schema-validated with
+#      `perf_trajectory --check`, plus the same check against the
+#      committed BENCH_hotpath.json. Catches harness bitrot and
+#      hand-edited/truncated trajectory files; it does NOT gate on times
+#      (CI machines are too noisy — regenerate BENCH_hotpath.json
+#      deliberately with `cargo run --release --bin perf_trajectory`).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -25,7 +32,9 @@ step "analyze (invariant lint pass)"
 scripts/analyze.sh
 
 step "build (release)"
-cargo build --release
+# --workspace: a root-only build does not (re)link the bench-crate
+# binaries, and step 7 runs one.
+cargo build --release --workspace
 
 step "tests (workspace)"
 cargo test --release --workspace -q
@@ -46,4 +55,11 @@ target/release/tdpipe-cli run --scheduler td --requests 200 \
 target/release/tdpipe-cli metrics-diff \
   --baseline metrics.baseline.json --current "$trace_tmp/run.metrics.json"
 
-printf '\nci OK: build + tests + smoke + trace export + metrics gate all green\n'
+step "perf-trajectory smoke (quick run + schema check)"
+TDPIPE_REQUESTS=200 TDPIPE_PERF_REPS=1 TDPIPE_PERF_SCALE=0 \
+  TDPIPE_BENCH_OUT="$trace_tmp/hotpath.json" \
+  target/release/perf_trajectory
+target/release/perf_trajectory --check "$trace_tmp/hotpath.json"
+target/release/perf_trajectory --check BENCH_hotpath.json
+
+printf '\nci OK: build + tests + smoke + trace export + metrics gate + perf smoke all green\n'

@@ -89,6 +89,45 @@ fn all_schedulers_serialize_bit_identically_across_runs_and_thread_counts() {
     }
 }
 
+/// Golden gate for the million-request sweep path: a 10k-request
+/// multi-seed sweep, serialized byte-for-byte, must be identical whether
+/// the specs run serially or through `run_sweep_parallel_with_threads` at
+/// any worker count. Unlike the cell sweep above, each spec here generates
+/// its *own* trace inside the worker, so this also pins trace generation
+/// determinism under concurrency.
+#[test]
+fn ten_k_multi_seed_sweep_is_bit_identical_serial_vs_parallel() {
+    use tdpipe_bench::{run_sweep_parallel_with_threads, Scheduler, SweepSpec};
+
+    let mut specs = Vec::new();
+    for seed in [5u64, 6] {
+        for s in [Scheduler::PpSb, Scheduler::TdPipe] {
+            specs.push(SweepSpec::paper_cell(
+                s,
+                ModelSpec::llama2_13b(),
+                NodeSpec::l20(4),
+                10_000,
+                seed,
+            ));
+        }
+    }
+
+    let serialize = |r: &Option<tdpipe::sim::RunReport>| -> String {
+        serde_json::to_string(r.as_ref().expect("13B fits 4xL20")).expect("serialize report")
+    };
+
+    let golden: Vec<String> = specs
+        .iter()
+        .map(|spec| serialize(&spec.run(&OraclePredictor)))
+        .collect();
+
+    for threads in [1, 2, 8] {
+        let reports = run_sweep_parallel_with_threads(&specs, &OraclePredictor, threads);
+        let got: Vec<String> = reports.iter().map(&serialize).collect();
+        assert_eq!(got, golden, "{threads}-thread sweep differs");
+    }
+}
+
 #[test]
 fn different_workload_seeds_change_results() {
     let engine = TdPipeEngine::new(
