@@ -428,6 +428,36 @@ impl RunState {
     }
 }
 
+/// The engine-wide idle-advance invariant, shared with the TD engine's
+/// fast-forward (`crates/core/src/engine.rs`): when nothing is runnable
+/// and nothing is in flight, the earliest pending arrival must be finite
+/// and strictly in the future — otherwise the clock cannot advance and
+/// the scheduler would either spin or jump to `+inf`. Every baseline
+/// routes its online-idle jump through here so a bad arrival vector is
+/// rejected identically by all five engines. Returns the new clock.
+///
+/// # Panics
+/// Panics when `next_arrival` is non-finite (no pending request will
+/// ever arrive) or not strictly after `now` (an arrived request was
+/// refused — callers diagnose capacity before coming here).
+pub fn idle_advance(
+    next_arrival: f64,
+    now: f64,
+    pending: usize,
+    finished: usize,
+    total: usize,
+) -> f64 {
+    // analyzer: allow(no-panic) — deliberate fail-fast on a stuck
+    // virtual clock; continuing would spin forever.
+    assert!(
+        next_arrival.is_finite() && next_arrival > now,
+        "stuck: nothing runnable, nothing arriving \
+         (next_arrival={next_arrival}, now={now}, pending={pending}, \
+         finished={finished}/{total})"
+    );
+    next_arrival
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,7 @@
 //! PP+SB: pipeline parallelism with separate batching (vLLM virtual
 //! engines).
 
-use crate::common::{Lane, RunState, Scratch};
+use crate::common::{idle_advance, Lane, RunState, Scratch};
 use crate::tp_sb::BaselineOutcome;
 use std::collections::VecDeque;
 use tdpipe_core::cohort::DecodeCohort;
@@ -182,16 +182,19 @@ impl PpSbEngine {
             if !inflight.is_empty() || st.pool.all_finished() {
                 break;
             }
-            // Online: nothing runnable yet — jump to the first arrival.
+            // Online: nothing runnable yet — jump to the first arrival
+            // (shared invariant — panics on a non-finite arrival).
             let next_arrival = lanes
                 .iter()
                 .filter_map(|l| l.pending.front().map(|&i| st.pool.arrival(i)))
                 .fold(f64::INFINITY, f64::min);
-            assert!(
-                next_arrival.is_finite() && next_arrival > now,
-                "nothing schedulable and nothing arriving"
+            now = idle_advance(
+                next_arrival,
+                now,
+                RunState::total_pending(&lanes),
+                st.pool.finished(),
+                st.pool.len(),
             );
-            now = next_arrival;
         }
 
         while let Some((sid, finish, kind)) = inflight.pop_front() {
@@ -247,13 +250,22 @@ impl PpSbEngine {
             }
             if inflight.is_empty() && !st.pool.all_finished() {
                 // Online idle: jump to the earliest pending arrival and
-                // try scheduling again.
+                // try scheduling again. A head that has *arrived* and was
+                // still refused falls through to the capacity panic; a
+                // non-finite arrival trips the shared idle-advance
+                // invariant instead of masquerading as a capacity failure.
                 let next_arrival = lanes
                     .iter()
                     .filter_map(|l| l.pending.front().map(|&i| st.pool.arrival(i)))
                     .fold(f64::INFINITY, f64::min);
-                if next_arrival.is_finite() && next_arrival > now {
-                    now = next_arrival;
+                if next_arrival > now {
+                    now = idle_advance(
+                        next_arrival,
+                        now,
+                        RunState::total_pending(&lanes),
+                        st.pool.finished(),
+                        st.pool.len(),
+                    );
                     for s in 0..n {
                         if inflight.len() >= limit {
                             break;

@@ -1,6 +1,6 @@
 //! TP+HB: tensor parallelism with hybrid batching and chunked prefill.
 
-use crate::common::{Lane, RunState};
+use crate::common::{idle_advance, Lane, RunState};
 use crate::tp_sb::BaselineOutcome;
 use std::collections::VecDeque;
 use tdpipe_core::config::EngineConfig;
@@ -133,17 +133,26 @@ impl TpHbEngine {
             if decode_b == 0 && chunks.is_empty() {
                 let idx = *lane.pending.front().expect("unfinished implies pending");
                 let arrival = st.pool.arrival(idx);
-                if arrival > now {
-                    // Online idle: wait for the next request.
-                    now = arrival;
-                    continue;
+                if arrival <= now {
+                    // The head has arrived and admission still refused it:
+                    // it can never fit.
+                    panic!(
+                        "request {} ({} tokens) exceeds KV capacity ({} tokens)",
+                        st.pool.id(idx),
+                        st.pool.prefill_tokens(idx),
+                        self.plan.token_capacity()
+                    );
                 }
-                panic!(
-                    "request {} ({} tokens) exceeds KV capacity ({} tokens)",
-                    st.pool.id(idx),
-                    st.pool.prefill_tokens(idx),
-                    self.plan.token_capacity()
+                // Online idle: jump to the next arrival (shared invariant —
+                // panics on a non-finite arrival instead of spinning).
+                now = idle_advance(
+                    arrival,
+                    now,
+                    lane.pending.len(),
+                    st.pool.finished(),
+                    st.pool.len(),
                 );
+                continue;
             }
 
             if metrics.is_enabled() {

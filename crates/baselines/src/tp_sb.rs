@@ -1,6 +1,6 @@
 //! TP+SB: tensor parallelism with separate batching (vLLM's default).
 
-use crate::common::{Lane, RunState};
+use crate::common::{idle_advance, Lane, RunState};
 use tdpipe_core::config::EngineConfig;
 use tdpipe_core::control::ControlPlane;
 use tdpipe_core::cost::TpCost;
@@ -135,16 +135,25 @@ impl TpSbEngine {
                 metrics.sample(timing.finish, lane.alloc.occupancy(), 1, 0, lane.pending.len());
             } else {
                 let idx = *lane.pending.front().expect("unfinished implies pending");
-                if st.pool.arrival(idx) > now {
-                    // Online idle: wait for the next request.
-                    now = st.pool.arrival(idx);
-                    continue;
+                let arrival = st.pool.arrival(idx);
+                if arrival <= now {
+                    // The head has arrived and admission still refused it:
+                    // it can never fit.
+                    panic!(
+                        "request {} ({} tokens) exceeds KV capacity ({} tokens)",
+                        st.pool.id(idx),
+                        st.pool.prefill_tokens(idx),
+                        self.plan.token_capacity()
+                    );
                 }
-                panic!(
-                    "request {} ({} tokens) exceeds KV capacity ({} tokens)",
-                    st.pool.id(idx),
-                    st.pool.prefill_tokens(idx),
-                    self.plan.token_capacity()
+                // Online idle: jump to the next arrival (shared invariant —
+                // panics on a non-finite arrival instead of spinning).
+                now = idle_advance(
+                    arrival,
+                    now,
+                    lane.pending.len(),
+                    st.pool.finished(),
+                    st.pool.len(),
                 );
             }
         }

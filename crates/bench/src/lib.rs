@@ -120,6 +120,84 @@ pub fn run_scheduler<P: OutputLenPredictor + ?Sized>(
     }
 }
 
+/// [`run_scheduler`] with per-request arrival times (the online
+/// extension). All five engines share the `run_with_arrivals` contract:
+/// arrivals non-decreasing and aligned with the trace, latencies
+/// arrival-relative, and the same idle-advance invariant when nothing is
+/// runnable.
+pub fn run_scheduler_with_arrivals<P: OutputLenPredictor + ?Sized>(
+    which: Scheduler,
+    model: &ModelSpec,
+    node: &NodeSpec,
+    trace: &Trace,
+    arrivals: &[f64],
+    predictor: &P,
+) -> Option<RunReport> {
+    let cfg = EngineConfig::default();
+    match which {
+        Scheduler::TpSb => TpSbEngine::new(model.clone(), node, cfg)
+            .ok()
+            .map(|e| e.run_with_arrivals(trace, arrivals, predictor).report),
+        Scheduler::TpHb => TpHbEngine::new(model.clone(), node, cfg)
+            .ok()
+            .map(|e| e.run_with_arrivals(trace, arrivals, predictor).report),
+        Scheduler::PpSb => PpSbEngine::new(model.clone(), node, cfg)
+            .ok()
+            .map(|e| e.run_with_arrivals(trace, arrivals, predictor).report),
+        Scheduler::PpHb => PpHbEngine::new(model.clone(), node, cfg)
+            .ok()
+            .map(|e| e.run_with_arrivals(trace, arrivals, predictor).report),
+        Scheduler::TdPipe => TdPipeEngine::new(model.clone(), node, TdPipeConfig::default())
+            .ok()
+            .map(|e| e.run_with_arrivals(trace, arrivals, predictor).report),
+    }
+}
+
+/// [`run_cells_parallel_with_threads`] for online sweeps: every cell runs
+/// over the same trace *and* the same arrival vector. Same lock-free
+/// claim-off-a-counter shape; results come back in input order and are
+/// byte-identical to a serial pass.
+pub fn run_cells_parallel_arrivals_with_threads<P: OutputLenPredictor + Sync + ?Sized>(
+    cells: &[(Scheduler, ModelSpec, NodeSpec)],
+    trace: &Trace,
+    arrivals: &[f64],
+    predictor: &P,
+    threads: usize,
+) -> Vec<Option<RunReport>> {
+    let threads = threads.max(1).min(cells.len().max(1));
+    let mut results: Vec<Option<RunReport>> = vec![None; cells.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, Option<RunReport>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let (s, model, node) = &cells[i];
+                        done.push((
+                            i,
+                            run_scheduler_with_arrivals(
+                                *s, model, node, trace, arrivals, predictor,
+                            ),
+                        ));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                results[i] = r;
+            }
+        }
+    });
+    results
+}
+
 /// Run TD-Pipe with an explicit configuration (ablations).
 pub fn run_tdpipe<P: OutputLenPredictor + ?Sized>(
     model: &ModelSpec,

@@ -80,6 +80,18 @@ pub struct EngineConfig {
     /// bit-identical. A `true` run is a pure observer — the schedule and
     /// report are unchanged (pinned in `tests/metrics_export.rs`).
     pub record_metrics: bool,
+    /// Session-affine KV reuse across closed-loop turns (see
+    /// `TdPipeEngine::run_sessions`): when `true`, a finished turn's KV is
+    /// retained for its session's next turn under the
+    /// [`EngineConfig::session_retain_frac`] budget, and a resumed turn
+    /// whose retained prefix survived prefills only its fresh suffix. When
+    /// `false`, every turn pays a full prefill. Has no effect on
+    /// non-session runs — their artifacts stay bit-identical either way.
+    pub session_reuse: bool,
+    /// Fraction of the KV pool that retained (idle-session) blocks may
+    /// occupy. Retained blocks are reclaimed oldest-first when the budget
+    /// or live admissions need the memory.
+    pub session_retain_frac: f64,
     /// Overflow strategy during decode.
     pub preemption: PreemptionMode,
     /// Effective host-link bandwidth for KV swapping, bytes/s (only used
@@ -106,6 +118,8 @@ impl Default for EngineConfig {
             record_occupancy: true,
             record_trace: false,
             record_metrics: false,
+            session_reuse: true,
+            session_retain_frac: 0.5,
             preemption: PreemptionMode::Recompute,
             host_link_bw: 20.0e9,
         }

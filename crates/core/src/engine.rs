@@ -36,13 +36,13 @@ use crate::request::{Lifecycle, RequestPool};
 use crate::steal::WorkStealer;
 use std::collections::VecDeque;
 use tdpipe_hw::{DecodeProfile, NodeSpec};
-use tdpipe_kvcache::{BlockAllocator, OccupancyTrace, Phase};
+use tdpipe_kvcache::{BlockAllocator, OccupancyTrace, Phase, SessionRetainer};
 use tdpipe_metrics::MetricsSnapshot;
 use tdpipe_model::ModelSpec;
 use tdpipe_predictor::OutputLenPredictor;
 use tdpipe_sim::{RunReport, SegmentKind, Timeline};
 use tdpipe_trace::{AdmitReason, EvictMode, FlightRecorder, PrefillStopReason, TraceEvent};
-use tdpipe_workload::Trace;
+use tdpipe_workload::{SessionTrace, SessionTurn, Trace};
 
 /// A model/node combination whose weights do not fit the devices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +90,158 @@ pub struct RunOutcome {
     pub journal: FlightRecorder,
     /// Metrics-plane snapshot (empty unless `record_metrics`).
     pub metrics: MetricsSnapshot,
+}
+
+/// Closed-loop session state threaded through one engine run (only for
+/// [`TdPipeEngine::run_sessions`]; `None` keeps every other entry point
+/// bit-identical).
+struct SessionRun<'a> {
+    /// Per-request turn linkage, parallel to the request pool.
+    turns: &'a [SessionTurn],
+    /// The idle-prefix retention pool (budget already sized; zero budget
+    /// when reuse is disabled, so `retain` always refuses).
+    retainer: SessionRetainer,
+    /// Whether finished turns retain KV at all
+    /// ([`crate::config::EngineConfig::session_reuse`]).
+    reuse: bool,
+    /// Paged block size, for block math on retained allocations.
+    block_size: u64,
+    /// Resumed turns admitted with no retained prefix (full prefill).
+    reuse_misses: u64,
+}
+
+/// Drop idle retained session prefixes (oldest first, never the one
+/// reserved for `keep`) until the allocator has `target` free blocks or
+/// the retention pool runs dry. Returns whether the target was met.
+/// Dropping revokes the dropped successors' prefill discounts, which
+/// changes pending prefill costs — hence the estimate-cache invalidation.
+fn reclaim_retained(
+    sess: &mut SessionRun<'_>,
+    target: u64,
+    keep: Option<u64>,
+    now: f64,
+    alloc: &mut BlockAllocator,
+    pool: &mut RequestPool,
+    est_cache: &mut PrefillEstimateCache,
+    journal: &mut FlightRecorder,
+) -> bool {
+    while alloc.free_blocks() < target {
+        let Some((succ, e)) = sess.retainer.pop_oldest_except(keep) else {
+            return false;
+        };
+        // analyzer: allow(no-expect) — a retained entry's donor keeps its
+        // allocator slot live until the entry is claimed or dropped here.
+        alloc.free(e.donor).expect("retained donor resident");
+        pool.clear_reuse_discount(succ as usize);
+        journal.record(
+            now,
+            TraceEvent::SessionDrop {
+                request: succ,
+                tokens: e.tokens,
+            },
+        );
+        est_cache.invalidate();
+    }
+    true
+}
+
+/// Retire a finished request's KV: retain it for the session successor
+/// when reuse is on and the budget allows (evicting older retained
+/// prefixes first), free it otherwise; then release the successor's
+/// closed-loop arrival (finish + think time), moving it from the pending
+/// queue's unreleased tail to its sorted slot. Returns the tokens `m`
+/// held (its contribution to the departing batch's context), exactly as
+/// `alloc.free` would have reported.
+#[allow(clippy::too_many_arguments)]
+fn release_finished(
+    m: usize,
+    now: f64,
+    sess: &mut Option<SessionRun<'_>>,
+    pool: &mut RequestPool,
+    alloc: &mut BlockAllocator,
+    pending: &mut VecDeque<usize>,
+    est_cache: &mut PrefillEstimateCache,
+    journal: &mut FlightRecorder,
+) -> u64 {
+    let Some(s) = sess.as_mut() else {
+        // analyzer: allow(no-expect) — every batch member was allocated at
+        // admission and eviction removes it from its batch, so a finisher
+        // is resident.
+        return alloc.free(m as u64).expect("finished request resident");
+    };
+    let next = s.turns[m].next;
+    // analyzer: allow(no-expect) — finishers are resident (see above).
+    let held = alloc.tokens_of(m as u64).expect("finished request resident");
+    let mut retained = false;
+    if s.reuse {
+        if let Some(succ) = next {
+            let blocks = held.div_ceil(s.block_size);
+            // Make room in the retention budget oldest-first; a budget too
+            // small for this prefix leaves `fits` false and we fall back
+            // to freeing.
+            while !s.retainer.fits(blocks) {
+                let Some((other, e)) = s.retainer.pop_oldest() else {
+                    break;
+                };
+                // analyzer: allow(no-expect) — retained donors stay
+                // resident until claimed or dropped here.
+                alloc.free(e.donor).expect("retained donor resident");
+                pool.clear_reuse_discount(other as usize);
+                journal.record(
+                    now,
+                    TraceEvent::SessionDrop {
+                        request: other,
+                        tokens: e.tokens,
+                    },
+                );
+            }
+            if s.retainer.retain(succ as u64, m as u64, held, blocks) {
+                // The successor will prefill only its fresh suffix while
+                // the prefix survives. `held` is the prior transcript
+                // minus the final sampled token, so it is strictly below
+                // the successor's prompt length.
+                pool.set_reuse_discount(succ as usize, held as u32);
+                journal.record(
+                    now,
+                    TraceEvent::SessionRetain {
+                        request: succ as u64,
+                        tokens: held,
+                    },
+                );
+                retained = true;
+            }
+        }
+    }
+    if !retained {
+        // analyzer: allow(no-expect) — still resident: nothing freed it.
+        alloc.free(m as u64).expect("finished request resident");
+    }
+    if let Some(succ) = next {
+        let succ = succ as usize;
+        let at = now + s.turns[succ].think_s;
+        pool.set_arrival(succ, at);
+        // The successor has never arrived (infinite arrival), so it still
+        // sits in the pending queue's unreleased tail — scan from the
+        // back, where it lives.
+        let p = pending
+            .iter()
+            .rposition(|&i| i == succ)
+            // analyzer: allow(no-expect) — unreleased turns are never
+            // admitted (their arrival is infinite), so the successor
+            // must be pending.
+            .expect("unreleased turn pending");
+        pending.remove(p);
+        // Sorted re-insertion among released-but-future arrivals. The
+        // walk stops before the arrived head region (arrivals <= now <=
+        // at), so the eviction-ordered head layout is preserved.
+        let mut pos = pending.len();
+        while pos > 0 && pool.arrival(pending[pos - 1]) > at {
+            pos -= 1;
+        }
+        pending.insert(pos, succ);
+        est_cache.invalidate();
+    }
+    held
 }
 
 /// The TD-Pipe inference engine for one `(model, node)` configuration.
@@ -218,6 +370,34 @@ impl TdPipeEngine {
         self.try_run_on(trace, arrivals, predictor, sim).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Run a closed-loop multi-turn session workload: each resumed turn
+    /// arrives only after its predecessor finishes plus think time, and —
+    /// with [`crate::config::EngineConfig::session_reuse`] on — a resumed
+    /// turn whose retained session KV survived prefills only its fresh
+    /// suffix. Latencies are measured from each turn's *released* arrival.
+    ///
+    /// # Panics
+    /// As [`Self::run_with_arrivals`], plus on an execution-plane failure
+    /// and on a session trace failing its structural invariants.
+    pub fn run_sessions<P: OutputLenPredictor + ?Sized>(
+        &self,
+        sessions: &SessionTrace,
+        predictor: &P,
+    ) -> RunOutcome {
+        let e = &self.cfg.engine;
+        let executor = Box::new(SimExecutor::new(
+            self.cost.num_stages(),
+            e.transfer_mode,
+            e.record_timeline,
+        ));
+        let arrivals = sessions.initial_arrivals();
+        self.run_impl(&sessions.trace, &arrivals, predictor, executor, Some(sessions))
+            // analyzer: allow(no-panic) — the infallible convenience
+            // surface, like `run_on`: panics with the execution-plane
+            // root cause.
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
     /// Fallible [`Self::run_on`]: an execution-plane failure (worker
     /// panic, lost stage message, wedged shutdown) surfaces as a clean
     /// [`ExecError`] instead of a panic or a hang — the waits inside a
@@ -230,7 +410,22 @@ impl TdPipeEngine {
         trace: &Trace,
         arrivals: &[f64],
         predictor: &P,
+        sim: Box<dyn PipelineExecutor>,
+    ) -> Result<RunOutcome, ExecError> {
+        self.run_impl(trace, arrivals, predictor, sim, None)
+    }
+
+    /// The single scheduling loop behind every entry point; `sessions`
+    /// threads the closed-loop linkage (arrival release, KV retention)
+    /// through it, and `None` leaves all of that behind one branch so
+    /// non-session runs stay bit-identical.
+    fn run_impl<P: OutputLenPredictor + ?Sized>(
+        &self,
+        trace: &Trace,
+        arrivals: &[f64],
+        predictor: &P,
         mut sim: Box<dyn PipelineExecutor>,
+        sessions: Option<&SessionTrace>,
     ) -> Result<RunOutcome, ExecError> {
         assert!(
             arrivals.is_empty() || arrivals.len() == trace.len(),
@@ -246,6 +441,28 @@ impl TdPipeEngine {
             RequestPool::with_arrivals(trace.requests(), arrivals, |r| predictor.predict(r));
         let mut alloc = BlockAllocator::new(self.plan.kv_blocks, self.plan.block_size);
         alloc.reserve_ids(pool.len());
+        // Closed-loop session state: the retention pool gets the
+        // configured fraction of KV blocks (zero when reuse is off, so
+        // every finished turn frees normally).
+        let mut sess: Option<SessionRun<'_>> = sessions.map(|st| {
+            assert_eq!(st.len(), trace.len(), "session turn table matches trace");
+            st.check_invariants();
+            // analyzer: allow(lossy-float-cast) — retain_frac is clamped
+            // to [0,1] and kv_blocks ≤ 2^32, so the product is exact
+            // enough and stays well inside u64.
+            let budget = (self.plan.kv_blocks as f64
+                * e.session_retain_frac.clamp(0.0, 1.0)) as u64;
+            let mut retainer =
+                SessionRetainer::new(if e.session_reuse { budget } else { 0 });
+            retainer.reserve_ids(st.len());
+            SessionRun {
+                turns: &st.turns,
+                retainer,
+                reuse: e.session_reuse,
+                block_size: self.plan.block_size as u64,
+                reuse_misses: 0,
+            }
+        });
         let mut occupancy = OccupancyTrace::new();
         // The flight recorder (ISSUE 4): disabled is a single-branch no-op
         // per `record` call, so default runs stay bit-identical. Sized for
@@ -379,8 +596,25 @@ impl TdPipeEngine {
                         let needed =
                             tokens.div_ceil(self.plan.block_size as u64);
                         if alloc.free_blocks() < needed + watermark_blocks {
-                            pack_stop = PrefillStopReason::Memory;
-                            break;
+                            // Idle retained session prefixes yield to live
+                            // re-admissions before the packer gives up.
+                            let met = match sess.as_mut() {
+                                Some(s) => reclaim_retained(
+                                    s,
+                                    needed + watermark_blocks,
+                                    None,
+                                    now,
+                                    &mut alloc,
+                                    &mut pool,
+                                    &mut est_cache,
+                                    &mut journal,
+                                ),
+                                None => false,
+                            };
+                            if !met {
+                                pack_stop = PrefillStopReason::Memory;
+                                break;
+                            }
                         }
                         // analyzer: allow(no-expect) — guarded two lines
                         // up: `free_blocks() >= needed + watermark` makes
@@ -408,24 +642,83 @@ impl TdPipeEngine {
                         metrics.on_prefill_admit(AdmitReason::SwapIn, tokens);
                         continue;
                     }
+                    // `t` is what the prefill must *compute* (fresh suffix
+                    // only on a session reuse hit); `full` is what the
+                    // request *occupies* once resident. Equal except on a
+                    // hit, where the donor's retained blocks come back
+                    // first, so they count toward the admission check.
                     let t = pool.prefill_tokens(idx);
                     if !batch.is_empty() && batch_tokens + t > e.prefill_token_budget {
                         pack_stop = PrefillStopReason::Budget;
                         break;
                     }
-                    let needed = (t as u64).div_ceil(self.plan.block_size as u64);
-                    if alloc.free_blocks() < needed + watermark_blocks {
-                        pack_stop = PrefillStopReason::Memory;
-                        break; // memory admission stop
+                    let full = pool.resident_tokens(idx);
+                    let needed = full.div_ceil(self.plan.block_size as u64);
+                    let donor_blocks = sess
+                        .as_ref()
+                        .and_then(|s| s.retainer.peek(idx as u64))
+                        .map_or(0, |c| c.blocks);
+                    let target = (needed + watermark_blocks).saturating_sub(donor_blocks);
+                    if alloc.free_blocks() < target {
+                        // Reclaim idle retained prefixes (never this
+                        // request's own) before giving up on memory.
+                        let met = match sess.as_mut() {
+                            Some(s) => reclaim_retained(
+                                s,
+                                target,
+                                Some(idx as u64),
+                                now,
+                                &mut alloc,
+                                &mut pool,
+                                &mut est_cache,
+                                &mut journal,
+                            ),
+                            None => false,
+                        };
+                        if !met {
+                            pack_stop = PrefillStopReason::Memory;
+                            break; // memory admission stop
+                        }
+                    }
+                    // Session accounting at the moment admission is
+                    // certain: claim the retained prefix (hit) or record
+                    // the miss for a first-time resumed turn.
+                    if let Some(s) = sess.as_mut() {
+                        if let Some(c) = s.retainer.claim(idx as u64) {
+                            // analyzer: allow(no-expect) — retained donors
+                            // stay resident until claimed here or dropped.
+                            alloc.free(c.donor).expect("retained donor resident");
+                            journal.record(
+                                now,
+                                TraceEvent::SessionReuseHit {
+                                    request: pool.id(idx).0,
+                                    tokens: c.tokens,
+                                },
+                            );
+                        } else if s.turns[idx].prev.is_some() && pool.evictions(idx) == 0 {
+                            s.reuse_misses += 1;
+                            journal.record(
+                                now,
+                                TraceEvent::SessionReuseMiss {
+                                    request: pool.id(idx).0,
+                                },
+                            );
+                        }
                     }
                     // analyzer: allow(no-expect) — guarded above: the
                     // admission check reserved `needed + watermark`
-                    // free blocks, so this allocation cannot fail.
-                    alloc.allocate(idx as u64, t as u64).expect("admission check guaranteed fit");
+                    // free blocks (counting the just-freed donor), so
+                    // this allocation cannot fail.
+                    alloc.allocate(idx as u64, full).expect("admission check guaranteed fit");
                     pending.pop_front();
                     batch.push(idx);
                     seq_lens.push(t);
                     batch_tokens += t;
+                    if sess.is_some() {
+                        // The discount was consumed by this admission; a
+                        // later eviction re-prefills at full cost.
+                        pool.clear_reuse_discount(idx);
+                    }
                 }
                 if batch.is_empty() {
                     // Memory full, head not yet arrived, or a single
@@ -444,7 +737,7 @@ impl TdPipeEngine {
                         panic!(
                             "request {} ({} tokens) exceeds KV capacity ({} tokens)",
                             pool.id(idx),
-                            pool.prefill_tokens(idx),
+                            pool.resident_tokens(idx),
                             self.plan.token_capacity()
                         );
                     }
@@ -478,7 +771,11 @@ impl TdPipeEngine {
                 prefill_meta.push((start, prefill_members.len(), alloc.occupancy()));
                 for (&idx, &t) in batch.iter().zip(&seq_lens) {
                     pool.note_prefill(idx, t);
-                    planner.admit(idx, t as u64, pool.predicted_remaining(idx));
+                    // The planner tracks *residency*, not prefill work:
+                    // on a session reuse hit the two differ (`t` is the
+                    // fresh suffix; the request occupies its full
+                    // prompt). Identical to `t` on every other path.
+                    planner.admit(idx, pool.resident_tokens(idx), pool.predicted_remaining(idx));
                     admission_seq[idx] = next_seq;
                     next_seq += 1;
                     residents.push(idx);
@@ -659,10 +956,19 @@ impl TdPipeEngine {
                     for &(m, extends) in &finishers {
                         alloc.advance_tokens(m as u64, extends as u64);
                         pool.finish_decode(m, extends + 1, now);
-                        // analyzer: allow(no-expect) — every batch member
-                        // was allocated at admission and eviction removes
-                        // it from `members`, so a finisher is resident.
-                        let freed = alloc.free(m as u64).expect("finished request resident");
+                        // Retain-for-successor or free, plus the
+                        // closed-loop release (plain free on non-session
+                        // runs).
+                        let freed = release_finished(
+                            m,
+                            now,
+                            &mut sess,
+                            &mut pool,
+                            &mut alloc,
+                            &mut pending,
+                            &mut est_cache,
+                            &mut journal,
+                        );
                         ctx -= freed + 1;
                         // `remove_request` subtracts the *tracked*
                         // contribution, so no settle is needed first.
@@ -688,11 +994,16 @@ impl TdPipeEngine {
                     }
                     members.retain(|&idx| {
                         if pool.note_decode_step(idx, now) {
-                            // analyzer: allow(no-expect) — every batch
-                            // member was allocated at admission and
-                            // eviction removes it from `members`, so a
-                            // finisher is resident.
-                            let freed = alloc.free(idx as u64).expect("finished request resident");
+                            let freed = release_finished(
+                                idx,
+                                now,
+                                &mut sess,
+                                &mut pool,
+                                &mut alloc,
+                                &mut pending,
+                                &mut est_cache,
+                                &mut journal,
+                            );
                             ctx -= freed + 1;
                             finished_now += 1;
                             planner.remove_request(idx);
@@ -712,6 +1023,24 @@ impl TdPipeEngine {
                         if alloc.extend_one(idx as u64).is_ok() {
                             i += 1;
                             continue;
+                        }
+                        // Idle retained session prefixes yield before any
+                        // live member is evicted.
+                        if let Some(s) = sess.as_mut() {
+                            if reclaim_retained(
+                                s,
+                                1,
+                                None,
+                                now,
+                                &mut alloc,
+                                &mut pool,
+                                &mut est_cache,
+                                &mut journal,
+                            ) && alloc.extend_one(idx as u64).is_ok()
+                            {
+                                i += 1;
+                                continue;
+                            }
                         }
                         if !heap_built {
                             evicted.clear();
@@ -1000,6 +1329,13 @@ impl TdPipeEngine {
             mean_utilization: timeline.mean_utilization(),
             latency: pool.latency_summary(),
         };
+        if let Some(s) = &sess {
+            debug_assert!(
+                s.retainer.is_empty(),
+                "all retained session prefixes should be claimed by run end"
+            );
+            metrics.on_session_summary(s.retainer.stats(), s.reuse_misses);
+        }
         let metrics = metrics.finish(
             &report,
             alloc.stats(),
@@ -1172,6 +1508,72 @@ mod tests {
         assert!(swap.swapped_tokens > 0);
         // Swap moves each evicted token out and back in.
         assert_eq!(swap.swapped_tokens % 2, 0);
+    }
+
+    #[test]
+    fn session_run_completes_and_conserves() {
+        use tdpipe_workload::SessionConfig;
+        let s = SessionConfig::small(24, 7).generate();
+        let out = engine(2).run_sessions(&s, &OraclePredictor);
+        assert_eq!(out.report.num_requests, s.len());
+        assert!(out.report.makespan > 0.0);
+        assert!(out.report.output_tokens > 0);
+    }
+
+    #[test]
+    fn session_runs_are_deterministic() {
+        use tdpipe_workload::SessionConfig;
+        let s = SessionConfig::small(32, 11).generate();
+        let a = engine(2).run_sessions(&s, &OraclePredictor);
+        let b = engine(2).run_sessions(&s, &OraclePredictor);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn session_reuse_prefills_only_fresh_suffixes() {
+        use tdpipe_workload::SessionConfig;
+        let s = SessionConfig::small(40, 3).generate();
+        let resumed_prefix: u64 = s
+            .turns
+            .iter()
+            .filter(|t| t.prev.is_some())
+            .map(|t| u64::from(t.shared_prefix))
+            .sum();
+        assert!(resumed_prefix > 0, "trace needs multi-turn sessions");
+        let run = |reuse: bool| {
+            let mut cfg = TdPipeConfig::default();
+            cfg.engine.session_reuse = reuse;
+            cfg.engine.record_metrics = true;
+            cfg.engine.record_trace = true;
+            TdPipeEngine::new(ModelSpec::llama2_13b(), &NodeSpec::l20(2), cfg)
+                .unwrap()
+                .run_sessions(&s, &OraclePredictor)
+        };
+        let on = run(true);
+        let off = run(false);
+        // Same answers either way; reuse only changes the prefill bill.
+        assert_eq!(on.report.output_tokens, off.report.output_tokens);
+        assert!(
+            on.report.input_tokens < off.report.input_tokens,
+            "reuse must shave first-prefill cost: on={} off={}",
+            on.report.input_tokens,
+            off.report.input_tokens
+        );
+        // The shave is exactly the claimed shared-prefix tokens.
+        let hits = on.metrics.scalar("session_reuse_hits_total").unwrap();
+        let saved = on.metrics.scalar("session_reused_tokens_total").unwrap() as u64;
+        assert!(hits > 0.0);
+        assert_eq!(off.report.input_tokens, on.report.input_tokens + saved);
+        // Reuse off: retention budget is zero, so nothing ever hits.
+        assert_eq!(off.metrics.scalar("session_reuse_hits_total"), Some(0.0));
+        // The journal agrees with the counters.
+        let hit_events = on
+            .journal
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::SessionReuseHit { .. }))
+            .count();
+        assert_eq!(hit_events as f64, hits);
     }
 
     #[test]

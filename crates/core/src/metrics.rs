@@ -308,6 +308,61 @@ impl EngineMetrics {
         self.reg.observe(self.phase_seconds[i], (end - start).max(0.0));
     }
 
+    /// Fold in the session-KV reuse totals of a closed-loop run (see
+    /// `TdPipeEngine::run_sessions`). Registered lazily — only session
+    /// runs call this, so non-session snapshots keep the baseline metric
+    /// set byte-identical.
+    pub fn on_session_summary(
+        &mut self,
+        stats: tdpipe_kvcache::RetainStats,
+        reuse_misses: u64,
+    ) {
+        if !self.reg.is_enabled() {
+            return;
+        }
+        let reg = &mut self.reg;
+        let add = |reg: &mut Registry, name: &str, help: &str, v: u64| {
+            let c = reg.counter(name, help, &[]);
+            reg.add(c, v);
+        };
+        add(
+            reg,
+            "session_kv_retains_total",
+            "Finished turns whose KV was retained for a successor",
+            stats.retains,
+        );
+        add(
+            reg,
+            "session_reuse_hits_total",
+            "Resumed turns admitted with their retained prefix resident",
+            stats.claims,
+        );
+        add(
+            reg,
+            "session_reuse_misses_total",
+            "Resumed turns admitted with no retained prefix (full prefill)",
+            reuse_misses,
+        );
+        add(
+            reg,
+            "session_kv_drops_total",
+            "Retained prefixes reclaimed before reuse (budget/pressure)",
+            stats.drops,
+        );
+        add(
+            reg,
+            "session_reused_tokens_total",
+            "Prefix tokens served from retained KV instead of prefill",
+            stats.claimed_tokens,
+        );
+        let g = reg.gauge(
+            "session_retained_blocks_high_water",
+            "Most KV blocks ever held idle by retained session prefixes",
+            &[],
+        );
+        reg.set(g, stats.retained_blocks_high_water as f64);
+    }
+
     /// Feed the series sampler the engine's live state at virtual `now`.
     pub fn sample(
         &mut self,
@@ -557,6 +612,52 @@ mod tests {
         assert_eq!(
             admits.value,
             tdpipe_metrics::MetricValue::Counter(1)
+        );
+        // Session counters are lazily registered: a run that never calls
+        // on_session_summary exports none of them.
+        assert!(snap.scalar("session_reuse_hits_total").is_none());
+    }
+
+    #[test]
+    fn session_summary_registers_lazily_and_exports() {
+        let mut m = EngineMetrics::new(true);
+        m.on_session_summary(
+            tdpipe_kvcache::RetainStats {
+                retains: 10,
+                claims: 7,
+                drops: 3,
+                claimed_tokens: 1400,
+                retained_blocks_high_water: 55,
+            },
+            2,
+        );
+        let report = RunReport {
+            scheduler: "x".into(),
+            makespan: 1.0,
+            num_requests: 1,
+            input_tokens: 1,
+            output_tokens: 1,
+            recomputed_tokens: 0,
+            swapped_tokens: 0,
+            phase_switches: 1,
+            mean_utilization: 0.5,
+            latency: None,
+        };
+        let snap = m.finish(
+            &report,
+            AllocStats::default(),
+            100,
+            &Timeline::new(false),
+            PlaneStats::default(),
+        );
+        assert_eq!(snap.scalar("session_kv_retains_total"), Some(10.0));
+        assert_eq!(snap.scalar("session_reuse_hits_total"), Some(7.0));
+        assert_eq!(snap.scalar("session_reuse_misses_total"), Some(2.0));
+        assert_eq!(snap.scalar("session_kv_drops_total"), Some(3.0));
+        assert_eq!(snap.scalar("session_reused_tokens_total"), Some(1400.0));
+        assert_eq!(
+            snap.scalar("session_retained_blocks_high_water"),
+            Some(55.0)
         );
     }
 }

@@ -65,6 +65,10 @@ pub struct RequestArena {
     first_token_at: Vec<f64>,
     /// Virtual time the last output token was produced (NaN until then).
     finished_at: Vec<f64>,
+    /// Prefill tokens request `idx` can skip thanks to retained session KV
+    /// (cold; empty for non-session runs — `prefill_tokens` treats a
+    /// missing entry as 0, so the common path pays one bounds check).
+    reuse_discount: Vec<u32>,
     finished: usize,
     /// Prompt tokens prefilled for the first time.
     pub input_tokens: u64,
@@ -118,6 +122,7 @@ impl RequestArena {
                 .collect(),
             first_token_at: vec![f64::NAN; n],
             finished_at: vec![f64::NAN; n],
+            reuse_discount: Vec::new(),
             finished: 0,
             input_tokens: 0,
             output_tokens: 0,
@@ -204,6 +209,44 @@ impl RequestArena {
         self.arrivals[idx]
     }
 
+    /// Re-stamp request `idx`'s arrival time. Closed-loop session turns
+    /// enter the arena with `f64::INFINITY` (not yet arrived) and are
+    /// released here when their predecessor finishes plus think time.
+    /// Latency metrics measure from the released arrival.
+    pub fn set_arrival(&mut self, idx: usize, at: f64) {
+        debug_assert!(at.is_finite(), "released arrival must be finite");
+        self.arrivals[idx] = at;
+    }
+
+    /// Grant request `idx` a prefill discount of `tokens` (the shared
+    /// session prefix resident in retained KV): `prefill_tokens` drops by
+    /// that much until [`Self::clear_reuse_discount`]. Only meaningful
+    /// while the request is `Pending` and un-evicted.
+    pub fn set_reuse_discount(&mut self, idx: usize, tokens: u32) {
+        debug_assert_eq!(self.hot[idx].lifecycle, Lifecycle::Pending);
+        debug_assert!(tokens <= self.hot[idx].input_len, "discount exceeds prompt");
+        if self.reuse_discount.is_empty() {
+            self.reuse_discount = vec![0; self.hot.len()];
+        }
+        self.reuse_discount[idx] = tokens;
+    }
+
+    /// Revoke request `idx`'s prefill discount (its retained prefix was
+    /// reclaimed before admission, or was consumed by the admitting
+    /// prefill).
+    pub fn clear_reuse_discount(&mut self, idx: usize) {
+        if let Some(d) = self.reuse_discount.get_mut(idx) {
+            *d = 0;
+        }
+    }
+
+    /// Current prefill discount of request `idx` (0 unless a retained
+    /// session prefix is reserved for it).
+    #[inline]
+    pub fn reuse_discount(&self, idx: usize) -> u32 {
+        self.reuse_discount.get(idx).copied().unwrap_or(0)
+    }
+
     /// Tokens of KV request `idx` holds while resident.
     #[inline]
     pub fn resident_tokens(&self, idx: usize) -> u64 {
@@ -211,12 +254,17 @@ impl RequestArena {
         h.input_len as u64 + h.generated as u64
     }
 
-    /// Tokens the *next* prefill of request `idx` must process (prompt
-    /// plus any generated tokens being recomputed after an eviction).
+    /// Tokens the *next* prefill of request `idx` must process: prompt
+    /// plus any generated tokens being recomputed after an eviction, minus
+    /// any session-reuse discount (a shared prefix already resident in
+    /// retained KV — see [`Self::set_reuse_discount`]). Every planning
+    /// surface (the packer, the intensity estimator, its debug oracle)
+    /// reads this one method, so they all coherently see the reduced cost.
     #[inline]
     pub fn prefill_tokens(&self, idx: usize) -> u32 {
         let h = &self.hot[idx];
-        h.input_len + h.generated
+        let discount = self.reuse_discount.get(idx).copied().unwrap_or(0);
+        (h.input_len + h.generated).saturating_sub(discount)
     }
 
     /// Predicted tokens request `idx` has still to generate.
@@ -529,6 +577,41 @@ mod tests {
         p.hot[0].predicted = 5;
         p.hot[0].generated = 9;
         assert_eq!(p.predicted_remaining(0), 0);
+    }
+
+    #[test]
+    fn reuse_discount_shrinks_prefill_but_not_residency() {
+        let mut p = pool(2);
+        let input = p.input_len(0);
+        assert_eq!(p.reuse_discount(0), 0);
+        assert_eq!(p.prefill_tokens(0), input);
+        // A retained 10-token prefix: only the fresh suffix is prefilled,
+        // but the request still occupies its full prompt once admitted.
+        let shared = input.min(10);
+        p.set_reuse_discount(0, shared);
+        assert_eq!(p.prefill_tokens(0), input - shared);
+        assert_eq!(p.resident_tokens(0), input as u64);
+        // The sibling request is untouched.
+        assert_eq!(p.prefill_tokens(1), p.input_len(1));
+        // Revocation restores the full cost.
+        p.clear_reuse_discount(0);
+        assert_eq!(p.prefill_tokens(0), input);
+        // Accounting uses whatever the engine passes to note_prefill, so a
+        // fresh-suffix admission records only the suffix as input tokens.
+        p.set_reuse_discount(0, shared);
+        let fresh = p.prefill_tokens(0);
+        p.note_prefill(0, fresh);
+        assert_eq!(p.input_tokens, (input - shared) as u64);
+    }
+
+    #[test]
+    fn infinity_arrivals_release_via_set_arrival() {
+        let t = ShareGptLikeConfig::small(2, 1).generate();
+        let arrivals = [0.0, f64::INFINITY];
+        let mut p = RequestPool::with_arrivals(t.requests(), &arrivals, |r| r.output_len);
+        assert!(p.arrival(1).is_infinite());
+        p.set_arrival(1, 12.5);
+        assert_eq!(p.arrival(1), 12.5);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   conservation invariants, O(1) operations.
 //! * [`OccupancyTrace`] — a time series of occupancy samples, the exact
 //!   data behind the paper's Figure 12.
+//! * [`SessionRetainer`] — bookkeeping for session-affine KV retention
+//!   across closed-loop conversation turns (which finished turn's blocks
+//!   are being held for which resumed turn, under what budget).
 //!
 //! The allocator is *scope-agnostic*: one instance manages the binding
 //! stage of a pipeline (the stage whose blocks run out first), or a TP
@@ -20,9 +23,11 @@
 #![forbid(unsafe_code)]
 
 pub mod allocator;
+pub mod session;
 pub mod usage;
 
 pub use allocator::{AllocStats, BlockAllocator, KvError};
+pub use session::{RetainStats, RetainedKv, SessionRetainer};
 pub use usage::{OccupancySample, OccupancyTrace, Phase};
 
 #[cfg(test)]

@@ -114,6 +114,37 @@ pub enum TraceEvent {
         /// Phase being entered.
         to: Phase,
     },
+    /// A finished session turn's KV was retained for its successor turn
+    /// instead of being freed (session-affine reuse).
+    SessionRetain {
+        /// The *successor* request the blocks are reserved for.
+        request: u64,
+        /// Tokens held resident for it.
+        tokens: u64,
+    },
+    /// A retained session prefix was reclaimed (budget or memory
+    /// pressure) before its successor arrived; the successor will pay a
+    /// full prefill.
+    SessionDrop {
+        /// The successor request that lost its prefix.
+        request: u64,
+        /// Tokens given back to the live pool.
+        tokens: u64,
+    },
+    /// A resumed session turn was admitted with its retained prefix still
+    /// resident: only the fresh suffix was prefilled.
+    SessionReuseHit {
+        /// Admitted request id.
+        request: u64,
+        /// Prefix tokens reused (never re-prefilled).
+        tokens: u64,
+    },
+    /// A resumed session turn was admitted with no retained prefix (never
+    /// retained, or dropped under pressure): full prefill.
+    SessionReuseMiss {
+        /// Admitted request id.
+        request: u64,
+    },
     /// A device executed work for `dur` seconds (derived from the
     /// [`Timeline`] when segment recording is on).
     StageBusy {
@@ -144,6 +175,10 @@ impl TraceEvent {
             TraceEvent::Evict { .. } => "evict",
             TraceEvent::SwitchDecision { .. } => "switch_decision",
             TraceEvent::PhaseSwitch { .. } => "phase_switch",
+            TraceEvent::SessionRetain { .. } => "session_retain",
+            TraceEvent::SessionDrop { .. } => "session_drop",
+            TraceEvent::SessionReuseHit { .. } => "session_reuse_hit",
+            TraceEvent::SessionReuseMiss { .. } => "session_reuse_miss",
             TraceEvent::StageBusy { .. } => "stage_busy",
             TraceEvent::StageIdle { .. } => "stage_idle",
         }

@@ -22,9 +22,33 @@ struct PhaseRow {
     evict_recompute: usize,
     evict_swap: usize,
     last_switch: Option<(f64, f64, bool)>,
+    session_retains: usize,
+    session_drops: usize,
+    reuse_hits: usize,
+    reuse_hit_tokens: u64,
+    reuse_misses: usize,
 }
 
 impl PhaseRow {
+    /// Session-reuse traffic within the phase (empty when none happened,
+    /// so non-session tables render unchanged).
+    fn session_detail(&self) -> String {
+        let mut parts = Vec::new();
+        if self.reuse_hits > 0 || self.reuse_misses > 0 {
+            parts.push(format!(
+                "reuse {}hit ({} tok)/{}miss",
+                self.reuse_hits, self.reuse_hit_tokens, self.reuse_misses
+            ));
+        }
+        if self.session_retains > 0 || self.session_drops > 0 {
+            parts.push(format!(
+                "retain +{}/-{}",
+                self.session_retains, self.session_drops
+            ));
+        }
+        parts.join(", ")
+    }
+
     fn detail(&self) -> String {
         match self.phase {
             Some(Phase::Prefill) => {
@@ -32,8 +56,14 @@ impl PhaseRow {
                     .last_stop
                     .map(|r| format!("{r:?}"))
                     .unwrap_or_else(|| "-".into());
+                let sess = self.session_detail();
+                let sess = if sess.is_empty() {
+                    sess
+                } else {
+                    format!(", {sess}")
+                };
                 format!(
-                    "admitted {} ({} tok), stop: {}",
+                    "admitted {} ({} tok), stop: {}{sess}",
                     self.admits, self.admit_tokens, stop
                 )
             }
@@ -58,6 +88,10 @@ impl PhaseRow {
                         tp,
                         if sw { "switch" } else { "stay" }
                     ));
+                }
+                let sess = self.session_detail();
+                if !sess.is_empty() {
+                    parts.push(sess);
                 }
                 if parts.is_empty() {
                     parts.push("drained".into());
@@ -112,6 +146,13 @@ pub fn decision_table(journal: &FlightRecorder) -> String {
                 switch,
                 ..
             } => cur.last_switch = Some((spatial, temporal, switch)),
+            TraceEvent::SessionRetain { .. } => cur.session_retains += 1,
+            TraceEvent::SessionDrop { .. } => cur.session_drops += 1,
+            TraceEvent::SessionReuseHit { tokens, .. } => {
+                cur.reuse_hits += 1;
+                cur.reuse_hit_tokens += tokens;
+            }
+            TraceEvent::SessionReuseMiss { .. } => cur.reuse_misses += 1,
             TraceEvent::StageBusy { .. } | TraceEvent::StageIdle { .. } => {}
         }
     }
@@ -198,5 +239,44 @@ mod tests {
         assert!(lines[2].contains("decode"));
         assert!(lines[2].contains("steal -2/+0"));
         assert!(lines[2].contains("0.500 vs 0.750 -> switch"));
+    }
+
+    #[test]
+    fn session_events_show_up_in_their_phase_rows() {
+        let mut r = FlightRecorder::with_capacity(8);
+        r.record(
+            0.0,
+            TraceEvent::SessionReuseHit {
+                request: 3,
+                tokens: 200,
+            },
+        );
+        r.record(0.1, TraceEvent::SessionReuseMiss { request: 4 });
+        r.record(
+            0.2,
+            TraceEvent::PhaseSwitch {
+                from: Phase::Prefill,
+                to: Phase::Decode,
+            },
+        );
+        r.record(
+            0.5,
+            TraceEvent::SessionRetain {
+                request: 5,
+                tokens: 300,
+            },
+        );
+        r.record(
+            0.6,
+            TraceEvent::SessionDrop {
+                request: 5,
+                tokens: 300,
+            },
+        );
+        let t = decision_table(&r);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3, "{t}");
+        assert!(lines[1].contains("reuse 1hit (200 tok)/1miss"), "{t}");
+        assert!(lines[2].contains("retain +1/-1"), "{t}");
     }
 }

@@ -28,6 +28,41 @@ pub enum ArrivalProcess {
         /// Seconds between consecutive bursts.
         interval_s: f64,
     },
+    /// Poisson arrivals whose rate swings sinusoidally around
+    /// `rate_per_s` with relative `amplitude` over a `period_s`-second
+    /// day — the classic day/night traffic shape.
+    Diurnal {
+        /// Mean arrival rate in requests per second.
+        rate_per_s: f64,
+        /// Relative swing in `[0, 1)`: instantaneous rate varies in
+        /// `rate_per_s * (1 ± amplitude)`.
+        amplitude: f64,
+        /// Seconds per full cycle (a scaled-down "day").
+        period_s: f64,
+        /// RNG seed (deterministic draws).
+        seed: u64,
+    },
+    /// Two-state Markov-modulated Poisson process: calm traffic at
+    /// `rate_per_s` punctuated by bursts at `burst_factor ×` that rate,
+    /// with exponentially distributed dwell times in each state.
+    Bursty {
+        /// Calm-state arrival rate in requests per second.
+        rate_per_s: f64,
+        /// Burst-state rate multiplier (> 1 for actual bursts).
+        burst_factor: f64,
+        /// Mean seconds spent in the calm state before a burst.
+        mean_calm_s: f64,
+        /// Mean seconds a burst lasts.
+        mean_burst_s: f64,
+        /// RNG seed (deterministic draws).
+        seed: u64,
+    },
+}
+
+/// One exponential inter-arrival draw at `rate` (inverse-CDF).
+fn exp_draw(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    -u.ln() / rate
 }
 
 impl ArrivalProcess {
@@ -41,20 +76,90 @@ impl ArrivalProcess {
                 let mut t = 0.0;
                 (0..n)
                     .map(|_| {
-                        let u: f64 = rng.random::<f64>().max(1e-12);
-                        t += -u.ln() / rate_per_s;
+                        t += exp_draw(&mut rng, rate_per_s);
                         t
                     })
                     .collect()
             }
             ArrivalProcess::Waves { waves, interval_s } => {
                 assert!(waves > 0, "need at least one wave");
+                // Contiguous bursts in time order: the first
+                // `ceil(n / waves)` requests land at t = 0, the next
+                // burst at `interval_s`, and so on — sorted, unlike the
+                // round-robin assignment this used to emit.
+                let per_wave = n.div_ceil(waves as usize).max(1);
                 (0..n)
-                    .map(|i| (i as u32 % waves) as f64)
-                    .map(|w| w * interval_s)
-                    .collect::<Vec<_>>()
-                    .into_iter()
+                    .map(|i| (i / per_wave) as f64 * interval_s)
                     .collect()
+            }
+            ArrivalProcess::Diurnal {
+                rate_per_s,
+                amplitude,
+                period_s,
+                seed,
+            } => {
+                assert!(rate_per_s > 0.0, "rate must be positive");
+                assert!(
+                    (0.0..1.0).contains(&amplitude),
+                    "amplitude must be in [0, 1)"
+                );
+                assert!(period_s > 0.0, "period must be positive");
+                // Thinning (Lewis–Shedler): draw candidates at the peak
+                // rate, accept each with probability rate(t) / peak.
+                let mut rng = StdRng::seed_from_u64(seed);
+                let peak = rate_per_s * (1.0 + amplitude);
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    t += exp_draw(&mut rng, peak);
+                    let phase = 2.0 * std::f64::consts::PI * t / period_s;
+                    let rate = rate_per_s * (1.0 + amplitude * phase.sin());
+                    if rng.random::<f64>() * peak <= rate {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            ArrivalProcess::Bursty {
+                rate_per_s,
+                burst_factor,
+                mean_calm_s,
+                mean_burst_s,
+                seed,
+            } => {
+                assert!(rate_per_s > 0.0, "rate must be positive");
+                assert!(burst_factor >= 1.0, "burst factor must be >= 1");
+                assert!(
+                    mean_calm_s > 0.0 && mean_burst_s > 0.0,
+                    "dwell times must be positive"
+                );
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0;
+                let mut bursting = false;
+                // Time left in the current modulation state.
+                let mut dwell = exp_draw(&mut rng, 1.0 / mean_calm_s);
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    let rate = if bursting {
+                        rate_per_s * burst_factor
+                    } else {
+                        rate_per_s
+                    };
+                    let gap = exp_draw(&mut rng, rate);
+                    if gap < dwell {
+                        t += gap;
+                        dwell -= gap;
+                        out.push(t);
+                    } else {
+                        // State flips before the next arrival lands;
+                        // advance to the boundary and redraw there.
+                        t += dwell;
+                        bursting = !bursting;
+                        let mean = if bursting { mean_burst_s } else { mean_calm_s };
+                        dwell = exp_draw(&mut rng, 1.0 / mean);
+                    }
+                }
+                out
             }
         }
     }
@@ -90,12 +195,111 @@ mod tests {
     }
 
     #[test]
-    fn waves_cycle_over_bursts() {
+    fn waves_are_contiguous_sorted_bursts() {
         let a = ArrivalProcess::Waves {
             waves: 3,
             interval_s: 60.0,
         }
         .sample(7);
-        assert_eq!(a, vec![0.0, 60.0, 120.0, 0.0, 60.0, 120.0, 0.0]);
+        // ceil(7/3) = 3 per burst: three at t=0, three at 60, one at 120.
+        assert_eq!(a, vec![0.0, 0.0, 0.0, 60.0, 60.0, 60.0, 120.0]);
+    }
+
+    #[test]
+    fn diurnal_modulates_density_across_the_cycle() {
+        let p = ArrivalProcess::Diurnal {
+            rate_per_s: 10.0,
+            amplitude: 0.9,
+            period_s: 100.0,
+            seed: 11,
+        };
+        let a = p.sample(4_000);
+        // Peak half-cycle (sin > 0) must hold clearly more arrivals than
+        // the trough half-cycle.
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for &t in &a {
+            if (t / 100.0).fract() < 0.5 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "peak={peak} trough={trough}"
+        );
+        assert_eq!(a, p.sample(4_000), "diurnal draws must be deterministic");
+    }
+
+    #[test]
+    fn bursty_has_heavier_tail_than_poisson() {
+        let b = ArrivalProcess::Bursty {
+            rate_per_s: 5.0,
+            burst_factor: 10.0,
+            mean_calm_s: 20.0,
+            mean_burst_s: 2.0,
+            seed: 7,
+        };
+        let a = b.sample(4_000);
+        // Index of dispersion of inter-arrival gaps: an MMPP is
+        // overdispersed (> 1); plain Poisson sits at ~1.
+        let disp = |v: &[f64]| {
+            let gaps: Vec<f64> = v.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let p = ArrivalProcess::Poisson {
+            rate_per_s: 5.0,
+            seed: 7,
+        }
+        .sample(4_000);
+        assert!(disp(&a) > disp(&p) * 1.5, "bursty={} poisson={}", disp(&a), disp(&p));
+        assert_eq!(a, b.sample(4_000), "bursty draws must be deterministic");
+    }
+
+    /// The documented contract: every variant's output is non-decreasing.
+    /// (The `Waves` arm used to violate this, tripping the engines'
+    /// `arrivals must be sorted` assertion.)
+    #[test]
+    fn every_variant_samples_non_decreasing() {
+        let variants = [
+            ArrivalProcess::Offline,
+            ArrivalProcess::Poisson {
+                rate_per_s: 3.0,
+                seed: 1,
+            },
+            ArrivalProcess::Waves {
+                waves: 4,
+                interval_s: 30.0,
+            },
+            ArrivalProcess::Diurnal {
+                rate_per_s: 3.0,
+                amplitude: 0.8,
+                period_s: 60.0,
+                seed: 2,
+            },
+            ArrivalProcess::Bursty {
+                rate_per_s: 3.0,
+                burst_factor: 8.0,
+                mean_calm_s: 10.0,
+                mean_burst_s: 1.0,
+                seed: 3,
+            },
+        ];
+        for p in variants {
+            for n in [0usize, 1, 2, 7, 100, 1_000] {
+                let a = p.sample(n);
+                assert_eq!(a.len(), n, "{p:?} must emit exactly n arrivals");
+                assert!(
+                    a.windows(2).all(|w| w[1] >= w[0]),
+                    "{p:?} emitted a decreasing arrival sequence at n={n}"
+                );
+                assert!(
+                    a.iter().all(|t| t.is_finite() && *t >= 0.0),
+                    "{p:?} emitted a non-finite or negative arrival"
+                );
+            }
+        }
     }
 }

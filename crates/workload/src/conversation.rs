@@ -45,12 +45,26 @@ impl ConversationConfig {
     /// Generate approximately `num_pairs` (input, output) request pairs by
     /// simulating conversations and flattening their rounds, applying the
     /// paper's `< input_max` filter to each pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration cannot make progress: if a long run
+    /// of consecutive conversations each yields zero pairs (every first
+    /// turn already ≥ `base.input_max`, e.g. a tiny `input_max` or a huge
+    /// `turn_mu`), the generator would otherwise spin forever.
     pub fn generate_pairs(&self, num_pairs: usize) -> Trace {
+        // With any feasible config the chance a single conversation's
+        // first turn blows the filter is well under 50%, so this many
+        // consecutive empty conversations only happens when *no* turn can
+        // ever pass — the livelock this guard exists to surface.
+        const MAX_EMPTY_CONVERSATIONS: u32 = 10_000;
         let mut rng = StdRng::seed_from_u64(self.base.seed ^ 0xC0_4E_95);
         let mut requests = Vec::with_capacity(num_pairs);
         let continue_p = 1.0 - 1.0 / self.mean_rounds.max(1.0);
+        let mut empty_streak = 0u32;
         while requests.len() < num_pairs {
             // One conversation: a topic category persists across rounds.
+            let before = requests.len();
             let category = sample_category(&mut rng);
             let mut context = 0u64; // transcript tokens so far
             loop {
@@ -77,6 +91,18 @@ impl ConversationConfig {
                 if rng.random::<f64>() > continue_p {
                     break;
                 }
+            }
+            if requests.len() == before {
+                empty_streak += 1;
+                assert!(
+                    empty_streak < MAX_EMPTY_CONVERSATIONS,
+                    "ConversationConfig cannot generate any pair: {empty_streak} \
+                     consecutive conversations produced a first turn >= input_max \
+                     ({}); raise input_max or lower turn_mu/turn_sigma",
+                    self.base.input_max
+                );
+            } else {
+                empty_streak = 0;
             }
         }
         Trace::new(requests)
@@ -122,6 +148,23 @@ mod tests {
         let i = lag1(&iid);
         assert!(c > 0.08, "conversation lag-1 autocorrelation {c}");
         assert!(i.abs() < 0.1, "iid lag-1 autocorrelation {i}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot generate any pair")]
+    fn infeasible_filter_panics_instead_of_livelocking() {
+        // Every first turn is ~e^20 tokens >> input_max, so no pair can
+        // ever pass the filter; this used to spin forever.
+        let cfg = ConversationConfig {
+            base: ShareGptLikeConfig {
+                input_max: 64,
+                ..ShareGptLikeConfig::small(10, 1)
+            },
+            turn_mu: 20.0,
+            turn_sigma: 0.0,
+            ..ConversationConfig::default()
+        };
+        cfg.generate_pairs(10);
     }
 
     #[test]

@@ -24,11 +24,13 @@ pub mod arrival;
 pub mod conversation;
 pub mod generator;
 pub mod request;
+pub mod session;
 pub mod stats;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use conversation::ConversationConfig;
+pub use session::{SessionConfig, SessionTrace, SessionTurn};
 pub use generator::{ShareGptLikeConfig, CATEGORY_COUNT, FEATURE_DIM};
 pub use request::{Request, RequestId};
 pub use stats::TraceStats;

@@ -14,7 +14,13 @@
 #      the baseline deliberately when a change is intentional:
 #        target/release/tdpipe-cli run --scheduler td --requests 200 \
 #          --metrics-out metrics.baseline.json)
-#   7. perf-trajectory smoke: a quick (200-request, 1-rep, no scale
+#   7. online-sessions smoke: a short Poisson open-loop run and a
+#      closed-loop session run (session-KV reuse on) through the CLI;
+#      both Chrome-trace exports must pass the schema validator, and two
+#      identical metered session runs must metrics-diff clean against
+#      each other (the online path is deterministic and the diff tool
+#      understands the session counters).
+#   8. perf-trajectory smoke: a quick (200-request, 1-rep, no scale
 #      cells) perf_trajectory run into a temp file, schema-validated with
 #      `perf_trajectory --check`, plus the same check against the
 #      committed BENCH_hotpath.json. Catches harness bitrot and
@@ -55,6 +61,25 @@ target/release/tdpipe-cli run --scheduler td --requests 200 \
 target/release/tdpipe-cli metrics-diff \
   --baseline metrics.baseline.json --current "$trace_tmp/run.metrics.json"
 
+step "online-sessions smoke (poisson arrivals + session-KV reuse)"
+target/release/tdpipe-cli run --scheduler td --requests 120 \
+  --arrival poisson --rate 24 \
+  --trace-out "$trace_tmp/online.trace.json"
+target/release/tdpipe-cli validate-trace --file "$trace_tmp/online.trace.json"
+target/release/tdpipe-cli run --scheduler td --sessions 48 \
+  --arrival poisson --rate 8 --reuse on \
+  --trace-out "$trace_tmp/sessions.trace.json"
+target/release/tdpipe-cli validate-trace --file "$trace_tmp/sessions.trace.json"
+target/release/tdpipe-cli run --scheduler td --sessions 48 \
+  --arrival poisson --rate 8 --reuse on \
+  --metrics-out "$trace_tmp/sessions.a.metrics.json"
+target/release/tdpipe-cli run --scheduler td --sessions 48 \
+  --arrival poisson --rate 8 --reuse on \
+  --metrics-out "$trace_tmp/sessions.b.metrics.json"
+target/release/tdpipe-cli metrics-diff \
+  --baseline "$trace_tmp/sessions.a.metrics.json" \
+  --current "$trace_tmp/sessions.b.metrics.json"
+
 step "perf-trajectory smoke (quick run + schema check)"
 TDPIPE_REQUESTS=200 TDPIPE_PERF_REPS=1 TDPIPE_PERF_SCALE=0 \
   TDPIPE_BENCH_OUT="$trace_tmp/hotpath.json" \
@@ -62,4 +87,4 @@ TDPIPE_REQUESTS=200 TDPIPE_PERF_REPS=1 TDPIPE_PERF_SCALE=0 \
 target/release/perf_trajectory --check "$trace_tmp/hotpath.json"
 target/release/perf_trajectory --check BENCH_hotpath.json
 
-printf '\nci OK: build + tests + smoke + trace export + metrics gate + perf smoke all green\n'
+printf '\nci OK: build + tests + smoke + trace export + metrics gate + sessions smoke + perf smoke all green\n'

@@ -28,7 +28,7 @@ use tdpipe::predictor::eval::ConfusionMatrix;
 use tdpipe::predictor::{LengthPredictor, OraclePredictor, OutputLenPredictor};
 use tdpipe::sim::RunReport;
 use tdpipe::trace::{chrome_trace, decision_table, validate_chrome_trace};
-use tdpipe::workload::{ShareGptLikeConfig, Trace, TraceStats};
+use tdpipe::workload::{ArrivalProcess, SessionConfig, ShareGptLikeConfig, Trace, TraceStats};
 
 const USAGE: &str = "\
 tdpipe-cli — TD-Pipe simulation driver
@@ -37,6 +37,9 @@ USAGE:
   tdpipe-cli run   [--model 13b|32b|70b|30b] [--node l20|a100] [--gpus N]
                    [--scheduler td|tp-sb|tp-hb|pp-sb|pp-hb]
                    [--requests N] [--seed S] [--predictor oracle|trained]
+                   [--arrival offline|poisson|waves|diurnal|bursty] [--rate R]
+                   [--sessions N] [--reuse on|off]
+                                        (closed-loop multi-turn serving, td only)
                    [--trace-out PATH]   (td only: Chrome-trace JSON export)
                    [--metrics-out PATH] (metrics snapshot, JSON)
                    [--prom-out PATH]    (metrics snapshot, Prometheus text)
@@ -50,7 +53,7 @@ USAGE:
   tdpipe-cli sweep [--model ...] [--node ...] [--gpus N] [--requests N]
 
 Defaults: --model 13b --node l20 --gpus 4 --scheduler td --requests 1000
-          --seed 42 --predictor oracle
+          --seed 42 --predictor oracle --arrival offline --rate 8 --reuse on
 ";
 
 struct Args(BTreeMap<String, String>);
@@ -85,6 +88,50 @@ impl Args {
             Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
         }
     }
+
+    fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => match v.parse::<f64>() {
+                Ok(x) if x.is_finite() && x > 0.0 => Ok(x),
+                _ => Err(format!("--{key}: need a positive number, got '{v}'")),
+            },
+        }
+    }
+}
+
+/// Arrival-process lookup for `run --arrival`. The non-rate shape
+/// parameters are fixed, reasonable defaults; `--rate` scales the load.
+fn arrival_of(kind: &str, rate: f64, seed: u64) -> Result<ArrivalProcess, String> {
+    Ok(match kind {
+        "offline" => ArrivalProcess::Offline,
+        "poisson" => ArrivalProcess::Poisson {
+            rate_per_s: rate,
+            seed,
+        },
+        "waves" => ArrivalProcess::Waves {
+            waves: 4,
+            interval_s: 30.0,
+        },
+        "diurnal" => ArrivalProcess::Diurnal {
+            rate_per_s: rate,
+            amplitude: 0.8,
+            period_s: 300.0,
+            seed,
+        },
+        "bursty" => ArrivalProcess::Bursty {
+            rate_per_s: rate,
+            burst_factor: 8.0,
+            mean_calm_s: 20.0,
+            mean_burst_s: 2.0,
+            seed,
+        },
+        other => {
+            return Err(format!(
+                "unknown arrival process '{other}' (offline|poisson|waves|diurnal|bursty)"
+            ))
+        }
+    })
 }
 
 fn model_of(name: &str) -> Result<ModelSpec, String> {
@@ -110,6 +157,7 @@ fn run_one(
     model: &ModelSpec,
     node: &NodeSpec,
     trace: &Trace,
+    arrivals: &[f64],
     predictor: &dyn OutputLenPredictor,
     record_metrics: bool,
 ) -> Result<(RunReport, MetricsSnapshot), String> {
@@ -126,35 +174,83 @@ fn run_one(
             };
             let out = TdPipeEngine::new(model.clone(), node, td_cfg)
                 .map_err(feasibility)?
-                .run(trace, predictor);
+                .run_with_arrivals(trace, arrivals, predictor);
             (out.report, out.metrics)
         }
         "tp-sb" => {
             let out = TpSbEngine::new(model.clone(), node, cfg)
                 .map_err(feasibility)?
-                .run(trace, predictor);
+                .run_with_arrivals(trace, arrivals, predictor);
             (out.report, out.metrics)
         }
         "tp-hb" => {
             let out = TpHbEngine::new(model.clone(), node, cfg)
                 .map_err(feasibility)?
-                .run(trace, predictor);
+                .run_with_arrivals(trace, arrivals, predictor);
             (out.report, out.metrics)
         }
         "pp-sb" => {
             let out = PpSbEngine::new(model.clone(), node, cfg)
                 .map_err(feasibility)?
-                .run(trace, predictor);
+                .run_with_arrivals(trace, arrivals, predictor);
             (out.report, out.metrics)
         }
         "pp-hb" => {
             let out = PpHbEngine::new(model.clone(), node, cfg)
                 .map_err(feasibility)?
-                .run(trace, predictor);
+                .run_with_arrivals(trace, arrivals, predictor);
             (out.report, out.metrics)
         }
         other => return Err(format!("unknown scheduler '{other}'")),
     })
+}
+
+/// `run --sessions N`: a closed-loop multi-turn session run on the
+/// TD-Pipe scheduler, with session-KV reuse controlled by `--reuse`.
+#[allow(clippy::too_many_arguments)]
+fn run_sessions_cmd(
+    num_sessions: usize,
+    arrival: ArrivalProcess,
+    reuse: bool,
+    seed: u64,
+    model: &ModelSpec,
+    node: &NodeSpec,
+    predictor: &dyn OutputLenPredictor,
+    record_metrics: bool,
+    trace_out: Option<&str>,
+) -> Result<(RunReport, MetricsSnapshot), String> {
+    let mut sc = SessionConfig::small(num_sessions, seed);
+    sc.arrival = arrival;
+    let sessions = sc.generate();
+    let cfg = TdPipeConfig {
+        engine: EngineConfig {
+            record_metrics,
+            record_trace: trace_out.is_some(),
+            record_timeline: trace_out.is_some(),
+            session_reuse: reuse,
+            ..EngineConfig::default()
+        },
+        ..TdPipeConfig::default()
+    };
+    let out = TdPipeEngine::new(model.clone(), node, cfg)
+        .map_err(|e| e.to_string())?
+        .run_sessions(&sessions, predictor);
+    println!(
+        "sessions: {} sessions -> {} turns, reuse {}",
+        sessions.num_sessions,
+        sessions.len(),
+        if reuse { "on" } else { "off" }
+    );
+    if let Some(path) = trace_out {
+        std::fs::write(path, chrome_trace(&out.timeline, &out.journal))
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+        println!(
+            "trace: {} engine events + {} timeline segments -> {path}",
+            out.journal.events().len(),
+            out.timeline.segments().len()
+        );
+    }
+    Ok((out.report, out.metrics))
 }
 
 /// A TD-Pipe run with the flight recorder (and, when `timeline` is set,
@@ -237,7 +333,35 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
             let metrics_out = args.opt("metrics-out");
             let prom_out = args.opt("prom-out");
             let want_metrics = metrics_out.is_some() || prom_out.is_some();
-            let (report, metrics) = if let Some(path) = args.opt("trace-out") {
+            let arrival_kind = args.get("arrival", "offline");
+            let rate = args.f64("rate", 8.0)?;
+            let arrival = arrival_of(&arrival_kind, rate, seed ^ 0xA881)?;
+            let (report, metrics) = if let Some(ns) = args.opt("sessions") {
+                if scheduler != "td" {
+                    return Err(format!(
+                        "--sessions runs the TD-Pipe scheduler only (got --scheduler {scheduler})"
+                    ));
+                }
+                let num_sessions: usize = ns
+                    .parse()
+                    .map_err(|_| format!("--sessions: bad number '{ns}'"))?;
+                let reuse = match args.get("reuse", "on").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--reuse: 'on' or 'off', got '{other}'")),
+                };
+                run_sessions_cmd(
+                    num_sessions,
+                    arrival,
+                    reuse,
+                    seed,
+                    &model,
+                    &node,
+                    predictor,
+                    want_metrics,
+                    args.opt("trace-out"),
+                )?
+            } else if let Some(path) = args.opt("trace-out") {
                 if scheduler != "td" {
                     return Err(format!(
                         "--trace-out only records the TD-Pipe scheduler (got --scheduler {scheduler})"
@@ -254,7 +378,19 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
                 );
                 (out.report, out.metrics)
             } else {
-                run_one(&scheduler, &model, &node, &trace, predictor, want_metrics)?
+                let arrivals = match arrival {
+                    ArrivalProcess::Offline => Vec::new(),
+                    p => p.sample(trace.len()),
+                };
+                run_one(
+                    &scheduler,
+                    &model,
+                    &node,
+                    &trace,
+                    &arrivals,
+                    predictor,
+                    want_metrics,
+                )?
             };
             // Fold the predictor's per-bucket hit/miss counters into the
             // export when a trained predictor steered the run.
@@ -338,7 +474,7 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
         "sweep" => {
             let trace = ShareGptLikeConfig::small(requests, seed).generate();
             for s in ["tp-sb", "tp-hb", "pp-sb", "pp-hb", "td"] {
-                match run_one(s, &model, &node, &trace, &OraclePredictor, false) {
+                match run_one(s, &model, &node, &trace, &[], &OraclePredictor, false) {
                     Ok((r, _)) => println!("{r}"),
                     Err(e) => println!("{s:<10} {e}"),
                 }
@@ -458,20 +594,51 @@ mod tests {
         let model = model_of("13b").unwrap();
         let node = node_of("l20", 2).unwrap();
         for s in ["td", "tp-sb", "tp-hb", "pp-sb", "pp-hb"] {
-            let (r, m) = run_one(s, &model, &node, &trace, &OraclePredictor, true).unwrap();
+            let (r, m) = run_one(s, &model, &node, &trace, &[], &OraclePredictor, true).unwrap();
             assert_eq!(r.num_requests, 12, "{s}");
             assert!(m.scalar("throughput_total").is_some(), "{s} exports metrics");
         }
-        assert!(run_one("magic", &model, &node, &trace, &OraclePredictor, false).is_err());
+        assert!(run_one("magic", &model, &node, &trace, &[], &OraclePredictor, false).is_err());
         let err = run_one(
             "td",
             &model_of("70b").unwrap(),
             &node_of("l20", 1).unwrap(),
             &trace,
+            &[],
             &OraclePredictor,
             false,
         )
         .unwrap_err();
         assert!(err.contains("infeasible"));
+    }
+
+    #[test]
+    fn arrival_lookup_covers_every_kind() {
+        for kind in ["offline", "poisson", "waves", "diurnal", "bursty"] {
+            let p = arrival_of(kind, 5.0, 7).unwrap();
+            let a = p.sample(32);
+            assert_eq!(a.len(), 32, "{kind}");
+            assert!(a.windows(2).all(|w| w[1] >= w[0]), "{kind} sorted");
+        }
+        assert!(arrival_of("lunar", 5.0, 7).is_err());
+    }
+
+    #[test]
+    fn session_run_reports_all_turns_and_reuse_cuts_prefill() {
+        let model = model_of("13b").unwrap();
+        let node = node_of("l20", 2).unwrap();
+        let arrival = arrival_of("poisson", 4.0, 3).unwrap();
+        let run = |reuse| {
+            run_sessions_cmd(
+                16, arrival, reuse, 3, &model, &node, &OraclePredictor, true, None,
+            )
+            .unwrap()
+        };
+        let (on, m) = run(true);
+        let (off, _) = run(false);
+        assert_eq!(on.num_requests, off.num_requests);
+        assert_eq!(on.output_tokens, off.output_tokens);
+        assert!(on.input_tokens <= off.input_tokens);
+        assert!(m.scalar("session_reuse_hits_total").is_some());
     }
 }

@@ -128,6 +128,156 @@ fn ten_k_multi_seed_sweep_is_bit_identical_serial_vs_parallel() {
     }
 }
 
+/// Online extension of the golden gate: all five schedulers fed the same
+/// Poisson arrival vector must serialize byte-identically run-over-run,
+/// and the parallel sweep must reproduce those bytes at every thread
+/// count. Also proves the cross-engine arrival contract: one vector is
+/// *accepted* identically everywhere (the rejection side lives in
+/// `cross_engine_arrival_rejection_is_uniform`).
+#[test]
+fn online_poisson_runs_serialize_bit_identically_across_schedulers_and_threads() {
+    use tdpipe::workload::ArrivalProcess;
+    use tdpipe_bench::{
+        run_cells_parallel_arrivals_with_threads, run_scheduler_with_arrivals, Scheduler,
+    };
+
+    let trace = ShareGptLikeConfig::small(96, 5).generate();
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s: 12.0,
+        seed: 17,
+    }
+    .sample(trace.len());
+    let cells: Vec<_> = Scheduler::ALL
+        .into_iter()
+        .map(|s| (s, ModelSpec::llama2_13b(), NodeSpec::l20(4)))
+        .collect();
+
+    let serialize = |r: &Option<tdpipe::sim::RunReport>| -> String {
+        serde_json::to_string(r.as_ref().expect("13B fits 4xL20")).expect("serialize report")
+    };
+
+    let golden: Vec<String> = cells
+        .iter()
+        .map(|(s, m, n)| {
+            serialize(&run_scheduler_with_arrivals(
+                *s,
+                m,
+                n,
+                &trace,
+                &arrivals,
+                &OraclePredictor,
+            ))
+        })
+        .collect();
+    for ((s, m, n), want) in cells.iter().zip(&golden) {
+        let again = serialize(&run_scheduler_with_arrivals(
+            *s,
+            m,
+            n,
+            &trace,
+            &arrivals,
+            &OraclePredictor,
+        ));
+        assert_eq!(&again, want, "{} online rerun differs", s.name());
+    }
+    for threads in [1, 2, 8] {
+        let reports = run_cells_parallel_arrivals_with_threads(
+            &cells,
+            &trace,
+            &arrivals,
+            &OraclePredictor,
+            threads,
+        );
+        let got: Vec<String> = reports.iter().map(&serialize).collect();
+        assert_eq!(got, golden, "{threads}-thread online sweep differs");
+    }
+}
+
+/// A `Waves` arrival vector (sorted contiguous bursts since the contract
+/// fix) must run through every engine's `run_with_arrivals` without
+/// tripping the `arrivals must be sorted` assertion.
+#[test]
+fn waves_arrivals_run_through_every_scheduler() {
+    use tdpipe::workload::ArrivalProcess;
+    use tdpipe_bench::{run_scheduler_with_arrivals, Scheduler};
+
+    let trace = ShareGptLikeConfig::small(48, 21).generate();
+    let arrivals = ArrivalProcess::Waves {
+        waves: 4,
+        interval_s: 15.0,
+    }
+    .sample(trace.len());
+    for s in Scheduler::ALL {
+        let r = run_scheduler_with_arrivals(
+            s,
+            &ModelSpec::llama2_13b(),
+            &NodeSpec::l20(2),
+            &trace,
+            &arrivals,
+            &OraclePredictor,
+        )
+        .expect("13B fits 2xL20");
+        assert_eq!(r.num_requests, 48, "{}", s.name());
+    }
+}
+
+/// The idle-advance invariant is now shared: an arrival vector whose tail
+/// never arrives (`+inf`) must be *rejected* by every engine with the
+/// same stuck-clock diagnostic, instead of spinning, jumping the clock to
+/// infinity, or mis-reporting a KV-capacity failure.
+#[test]
+fn cross_engine_arrival_rejection_is_uniform() {
+    use tdpipe_bench::{run_scheduler_with_arrivals, Scheduler};
+
+    let trace = ShareGptLikeConfig::small(8, 33).generate();
+    let mut arrivals = vec![0.0; trace.len()];
+    arrivals[trace.len() - 1] = f64::INFINITY; // still sorted, never arrives
+    for s in Scheduler::ALL {
+        let trace = trace.clone();
+        let arrivals = arrivals.clone();
+        let outcome = std::panic::catch_unwind(move || {
+            run_scheduler_with_arrivals(
+                s,
+                &ModelSpec::llama2_13b(),
+                &NodeSpec::l20(2),
+                &trace,
+                &arrivals,
+                &OraclePredictor,
+            )
+        });
+        let err = outcome.expect_err("a never-arriving request must be rejected");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("nothing arriving"),
+            "{} rejected with the wrong diagnostic: {msg:?}",
+            s.name()
+        );
+    }
+}
+
+/// Pin: the session knobs must be invisible to non-session entry points —
+/// flipping them cannot move a byte of an offline run's serialized report.
+#[test]
+fn session_knobs_leave_offline_runs_bit_identical() {
+    let trace = ShareGptLikeConfig::small(120, 5).generate();
+    let run = |reuse: bool, frac: f64| {
+        let mut cfg = TdPipeConfig::default();
+        cfg.engine.session_reuse = reuse;
+        cfg.engine.session_retain_frac = frac;
+        let out = TdPipeEngine::new(ModelSpec::llama2_13b(), &NodeSpec::l20(4), cfg)
+            .unwrap()
+            .run(&trace, &OraclePredictor);
+        serde_json::to_string(&out.report).expect("serialize report")
+    };
+    let base = run(true, 0.5);
+    assert_eq!(base, run(false, 0.0));
+    assert_eq!(base, run(true, 1.0));
+}
+
 #[test]
 fn different_workload_seeds_change_results() {
     let engine = TdPipeEngine::new(
