@@ -14,10 +14,22 @@
 //!
 //! `[set.<name>]` tables with string-array `paths` (crate source dirs or
 //! single files, repo-root-relative) and `rules` (names from
-//! [`crate::rules::registry`]). `#` comments and multi-line arrays are
-//! supported; anything fancier is a config error, not silently ignored.
+//! [`crate::rules::registry`]). Two auxiliary tables feed the semantic
+//! rules:
+//!
+//! ```toml
+//! [units]                 # name → accounting dimension annotations
+//! held = "blocks"         # overrides suffix inference for this ident
+//!
+//! [observers]             # roots an observer branch may assign to
+//! names = ["occupancy"]
+//! ```
+//!
+//! `#` comments and multi-line arrays are supported; anything fancier is
+//! a config error, not silently ignored.
 
-use crate::rules::rule_by_name;
+use crate::rules::{rule_by_name, Unit};
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// One named rule set: these `rules` apply to files under these `paths`.
@@ -36,6 +48,17 @@ pub struct RuleSet {
 pub struct Config {
     /// All rule sets, in file order.
     pub sets: Vec<RuleSet>,
+    /// `[units]` annotations: identifier → accounting dimension.
+    pub units: BTreeMap<String, Unit>,
+    /// `[observers]` names: roots observer branches may assign to.
+    pub observers: Vec<String>,
+}
+
+/// Which table the parser is currently inside.
+enum Section {
+    Set(usize),
+    Units,
+    Observers,
 }
 
 impl Config {
@@ -49,6 +72,9 @@ impl Config {
     /// Parse the config text; validates rule names against the registry.
     pub fn parse(text: &str) -> Result<Config, String> {
         let mut sets: Vec<RuleSet> = Vec::new();
+        let mut units: BTreeMap<String, Unit> = BTreeMap::new();
+        let mut observers: Vec<String> = Vec::new();
+        let mut section: Option<Section> = None;
         let mut lines = text.lines().enumerate().peekable();
         while let Some((n, raw)) = lines.next() {
             let line = strip_comment(raw).trim().to_string();
@@ -56,17 +82,27 @@ impl Config {
                 continue;
             }
             if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                let name = header
-                    .strip_prefix("set.")
-                    .ok_or_else(|| format!("line {}: only [set.<name>] tables are supported", n + 1))?;
-                if name.is_empty() {
-                    return Err(format!("line {}: empty set name", n + 1));
+                if let Some(name) = header.strip_prefix("set.") {
+                    if name.is_empty() {
+                        return Err(format!("line {}: empty set name", n + 1));
+                    }
+                    sets.push(RuleSet {
+                        name: name.to_string(),
+                        paths: Vec::new(),
+                        rules: Vec::new(),
+                    });
+                    section = Some(Section::Set(sets.len() - 1));
+                } else if header == "units" {
+                    section = Some(Section::Units);
+                } else if header == "observers" {
+                    section = Some(Section::Observers);
+                } else {
+                    return Err(format!(
+                        "line {}: only [set.<name>], [units], and [observers] tables are \
+                         supported",
+                        n + 1
+                    ));
                 }
-                sets.push(RuleSet {
-                    name: name.to_string(),
-                    paths: Vec::new(),
-                    rules: Vec::new(),
-                });
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -82,15 +118,45 @@ impl Config {
                 value.push(' ');
                 value.push_str(strip_comment(cont).trim());
             }
-            let set = sets
-                .last_mut()
-                .ok_or_else(|| format!("line {}: `{key}` outside a [set.*] table", n + 1))?;
-            let items = parse_string_array(&value)
-                .map_err(|e| format!("line {}: {e}", n + 1))?;
-            match key {
-                "paths" => set.paths = items,
-                "rules" => set.rules = items,
-                other => return Err(format!("line {}: unknown key `{other}`", n + 1)),
+            match section {
+                Some(Section::Set(si)) => {
+                    let items = parse_string_array(&value)
+                        .map_err(|e| format!("line {}: {e}", n + 1))?;
+                    match key {
+                        "paths" => sets[si].paths = items,
+                        "rules" => sets[si].rules = items,
+                        other => {
+                            return Err(format!("line {}: unknown key `{other}`", n + 1))
+                        }
+                    }
+                }
+                Some(Section::Units) => {
+                    let s = parse_string(&value)
+                        .map_err(|e| format!("line {}: {e}", n + 1))?;
+                    let unit = Unit::parse(&s).ok_or_else(|| {
+                        format!(
+                            "line {}: `{s}` is not a unit (tokens/blocks/seconds/bytes/count)",
+                            n + 1
+                        )
+                    })?;
+                    units.insert(key.to_string(), unit);
+                }
+                Some(Section::Observers) => {
+                    if key != "names" {
+                        return Err(format!(
+                            "line {}: [observers] supports only `names`",
+                            n + 1
+                        ));
+                    }
+                    observers = parse_string_array(&value)
+                        .map_err(|e| format!("line {}: {e}", n + 1))?;
+                }
+                None => {
+                    return Err(format!(
+                        "line {}: `{key}` outside a [set.*] table",
+                        n + 1
+                    ))
+                }
             }
         }
         for set in &sets {
@@ -109,7 +175,11 @@ impl Config {
                 }
             }
         }
-        Ok(Config { sets })
+        Ok(Config {
+            sets,
+            units,
+            observers,
+        })
     }
 
     /// The paths every set naming `rule` covers.
@@ -139,6 +209,15 @@ fn strip_comment(line: &str) -> &str {
 
 fn balanced(value: &str) -> bool {
     value.starts_with('[') && value.trim_end().ends_with(']')
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    value
+        .trim()
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("value `{value}` is not a quoted string"))
 }
 
 fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
@@ -201,5 +280,25 @@ mod tests {
     fn rejects_key_outside_table_and_empty_sets() {
         assert!(Config::parse("paths = [\"a\"]\n").is_err());
         assert!(Config::parse("[set.x]\npaths = [\"a\"]\n").is_err());
+    }
+
+    #[test]
+    fn parses_units_and_observers() {
+        let cfg = Config::parse(
+            "[set.x]\npaths = [\"a\"]\nrules = [\"unit-mismatch\"]\n\
+             [units]\nheld = \"blocks\" # annotation\ndemand = \"tokens\"\n\
+             [observers]\nnames = [\"occupancy\", \"trace_buf\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.units.get("held"), Some(&Unit::Blocks));
+        assert_eq!(cfg.units.get("demand"), Some(&Unit::Tokens));
+        assert_eq!(cfg.observers, vec!["occupancy", "trace_buf"]);
+    }
+
+    #[test]
+    fn rejects_bad_unit_and_unknown_table() {
+        assert!(Config::parse("[units]\nx = \"furlongs\"\n").is_err());
+        assert!(Config::parse("[nonsense]\nx = \"y\"\n").is_err());
+        assert!(Config::parse("[observers]\nother = [\"x\"]\n").is_err());
     }
 }

@@ -1,0 +1,567 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The analyzer's v1 scanner *masked* Rust — it blanked out comments and
+//! string literals and pattern-matched the residue. This lexer replaces
+//! that with a real token stream: every byte of the source is either
+//! inside exactly one token or is inter-token whitespace, so the stream
+//! round-trips to the original text (see [`round_trip`], pinned by a
+//! test over the analyzer's own sources). Rules then match *tokens* —
+//! an identifier inside a string literal simply never appears as an
+//! `Ident` token, which removes the masked scanner's false-positive
+//! class at the root instead of papering over it.
+//!
+//! The lexer is deliberately lossless and forgiving: it never rejects
+//! input (unterminated literals run to end-of-file), because lint
+//! tooling must degrade gracefully on code mid-edit. It understands the
+//! token shapes that matter for linting real Rust:
+//!
+//! * line/block comments (nested), doc comments included;
+//! * string, raw-string (`r#".."#`), byte-string, char and byte-char
+//!   literals, with escapes;
+//! * lifetimes vs char literals (`'a` vs `'a'`);
+//! * numbers with underscores, radix prefixes, exponents and type
+//!   suffixes, classified int vs float;
+//! * multi-character operators (`::`, `->`, `==`, `+=`, `..=`, …) joined
+//!   into single tokens — except `<<`/`>>`, which stay split so nested
+//!   generic closers (`Vec<Vec<u64>>`) lex correctly.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `let`, `as`, `r#raw`).
+    Ident,
+    /// Lifetime (`'a`) — no closing quote.
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.5`, `1e-3`, `2f64`).
+    Float,
+    /// String or byte-string literal, escapes included (`"x"`, `b"x"`).
+    Str,
+    /// Raw (byte) string literal (`r"x"`, `br#"x"#`).
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Operator or delimiter, multi-char forms joined (`::`, `+=`, `{`).
+    Punct,
+    /// `// ...` comment, text includes the slashes, excludes the newline.
+    LineComment,
+    /// `/* ... */` comment (possibly nested, possibly multi-line).
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: usize,
+    /// Char offset of the token start in the source.
+    pub start: usize,
+}
+
+impl Token {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punct `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// True for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Multi-char puncts, longest first within each length class. `<<` and
+/// `>>` are intentionally absent (generic closers), as are their
+/// assignment forms — a shift still lexes, as two tokens.
+const PUNCT3: [&str; 2] = ["..=", "..."];
+const PUNCT2: [&str; 18] = [
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "..",
+];
+
+/// Lex `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks: Vec<Token> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Count newlines inside `chars[from..to]`.
+    let newlines = |from: usize, to: usize, chars: &[char]| -> usize {
+        chars[from..to].iter().filter(|&&c| c == '\n').count()
+    };
+    let text_of = |from: usize, to: usize, chars: &[char]| -> String {
+        chars[from..to].iter().collect()
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start = i;
+        let start_line = line;
+
+        // Inter-token whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::LineComment,
+                text: text_of(i, j, &chars),
+                line: start_line,
+                start,
+            });
+            i = j;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            line += newlines(i, j.min(chars.len()), &chars);
+            toks.push(Token {
+                kind: TokKind::BlockComment,
+                text: text_of(i, j.min(chars.len()), &chars),
+                line: start_line,
+                start,
+            });
+            i = j.min(chars.len());
+            continue;
+        }
+
+        // Raw strings and byte strings starting at `r` / `b` / `br`.
+        if c == 'r' || c == 'b' {
+            if let Some((end, kind)) = raw_or_byte_literal(&chars, i) {
+                line += newlines(i, end, &chars);
+                toks.push(Token {
+                    kind,
+                    text: text_of(i, end, &chars),
+                    line: start_line,
+                    start,
+                });
+                i = end;
+                continue;
+            }
+        }
+
+        // Identifiers, keywords, and `r#raw` identifiers.
+        if is_ident_start(c) {
+            let mut j = i;
+            if c == 'r' && chars.get(i + 1) == Some(&'#') && chars.get(i + 2).map(|&n| is_ident_start(n)).unwrap_or(false) {
+                j = i + 2; // raw identifier
+            }
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: text_of(i, j, &chars),
+                line: start_line,
+                start,
+            });
+            i = j;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (end, kind) = number(&chars, i);
+            toks.push(Token {
+                kind,
+                text: text_of(i, end, &chars),
+                line: start_line,
+                start,
+            });
+            i = end;
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            let end = string_end(&chars, i + 1);
+            line += newlines(i, end, &chars);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: text_of(i, end, &chars),
+                line: start_line,
+                start,
+            });
+            i = end;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let (end, kind) = char_or_lifetime(&chars, i);
+            toks.push(Token {
+                kind,
+                text: text_of(i, end, &chars),
+                line: start_line,
+                start,
+            });
+            i = end;
+            continue;
+        }
+
+        // Puncts: longest-match multi-char first.
+        let mut matched = None;
+        for cand in PUNCT3 {
+            if starts_with_at(&chars, i, cand) {
+                matched = Some(cand.len());
+                break;
+            }
+        }
+        if matched.is_none() {
+            for cand in PUNCT2 {
+                if starts_with_at(&chars, i, cand) {
+                    matched = Some(cand.len());
+                    break;
+                }
+            }
+        }
+        let len = matched.unwrap_or(1);
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: text_of(i, i + len, &chars),
+            line: start_line,
+            start,
+        });
+        i += len;
+    }
+    toks
+}
+
+fn starts_with_at(chars: &[char], at: usize, pat: &str) -> bool {
+    pat.chars()
+        .enumerate()
+        .all(|(k, p)| chars.get(at + k) == Some(&p))
+}
+
+/// `r"..."`, `r#"..."#`, `br#"..."#`, `b"..."`, `b'x'` starting at `i`;
+/// returns `(end, kind)` when one is actually there. A preceding
+/// identifier character has already been ruled out by the main loop
+/// (identifiers consume greedily, so `car"x"` never reaches here with
+/// `i` pointing at the `r`).
+fn raw_or_byte_literal(chars: &[char], i: usize) -> Option<(usize, TokKind)> {
+    let c = chars[i];
+    let mut j = i + 1;
+    let mut raw = c == 'r';
+    if c == 'b' {
+        if chars.get(j) == Some(&'r') {
+            raw = true;
+            j += 1;
+        } else if chars.get(j) == Some(&'"') {
+            // Byte string: like a normal string.
+            let end = string_end(chars, j + 1);
+            return Some((end, TokKind::Str));
+        } else if chars.get(j) == Some(&'\'') {
+            // Byte char.
+            let (end, kind) = char_or_lifetime(chars, j);
+            if kind == TokKind::Char {
+                return Some((end, TokKind::Char));
+            }
+            return None;
+        } else {
+            return None;
+        }
+    }
+    if !raw {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None; // `r#ident` or plain `r` — an identifier, not a string
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` `#`s.
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(j + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return Some((j + 1 + hashes, TokKind::RawStr));
+            }
+        }
+        j += 1;
+    }
+    Some((chars.len(), TokKind::RawStr)) // unterminated: run to EOF
+}
+
+/// End of a string body starting just after the opening quote.
+fn string_end(chars: &[char], mut j: usize) -> usize {
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    chars.len()
+}
+
+/// Char literal or lifetime starting at the `'` at `i`.
+fn char_or_lifetime(chars: &[char], i: usize) -> (usize, TokKind) {
+    let next = chars.get(i + 1).copied();
+    // `'x'` closes two chars later; `'\n'` starts with an escape; anything
+    // else (`'a` in `<'a>`, `'_`) is a lifetime.
+    let is_char = match next {
+        Some('\\') => true,
+        Some(n) if n != '\'' => chars.get(i + 2) == Some(&'\''),
+        _ => false,
+    };
+    if is_char {
+        let mut j = i + 1;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 2,
+                '\'' => return (j + 1, TokKind::Char),
+                _ => j += 1,
+            }
+        }
+        (chars.len(), TokKind::Char)
+    } else {
+        // Lifetime: `'` + ident chars (possibly none: a stray quote).
+        let mut j = i + 1;
+        while j < chars.len() && is_ident_continue(chars[j]) {
+            j += 1;
+        }
+        (j, TokKind::Lifetime)
+    }
+}
+
+/// Number starting at digit `i`: returns `(end, Int | Float)`.
+fn number(chars: &[char], i: usize) -> (usize, TokKind) {
+    let mut j = i;
+    let mut float = false;
+    let radix_prefixed = chars[i] == '0'
+        && matches!(chars.get(i + 1), Some('x') | Some('X') | Some('b') | Some('B') | Some('o') | Some('O'));
+    if radix_prefixed {
+        j = i + 2;
+        while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        return (j, TokKind::Int);
+    }
+    while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    // Fractional part: `.` followed by anything that is not a second `.`
+    // (range) and not an identifier start (method call / field access).
+    if chars.get(j) == Some(&'.') {
+        let after = chars.get(j + 1).copied();
+        let fraction = match after {
+            Some('.') => false,
+            Some(c) if is_ident_start(c) => false,
+            _ => true,
+        };
+        if fraction {
+            float = true;
+            j += 1;
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if matches!(chars.get(j), Some('e') | Some('E')) {
+        let mut k = j + 1;
+        if matches!(chars.get(k), Some('+') | Some('-')) {
+            k += 1;
+        }
+        if chars.get(k).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            float = true;
+            j = k;
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, …) — consume trailing ident chars.
+    let suffix_start = j;
+    while j < chars.len() && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    let suffix: String = chars[suffix_start..j].iter().collect();
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    (j, if float { TokKind::Float } else { TokKind::Int })
+}
+
+/// Reconstruct the source from its token stream: token texts at their
+/// recorded offsets, original whitespace between them. Returns `None`
+/// when the stream does not tile the source (a lexer bug).
+pub fn round_trip(src: &str, toks: &[Token]) -> Option<String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut pos = 0usize;
+    for t in toks {
+        if t.start < pos || t.start > chars.len() {
+            return None;
+        }
+        let gap: String = chars[pos..t.start].iter().collect();
+        if !gap.chars().all(char::is_whitespace) {
+            return None; // lexer skipped non-whitespace
+        }
+        out.push_str(&gap);
+        out.push_str(&t.text);
+        pos = t.start + t.text.chars().count();
+    }
+    if pos > chars.len() {
+        return None;
+    }
+    let tail: String = chars[pos..].iter().collect();
+    if !tail.chars().all(char::is_whitespace) {
+        return None;
+    }
+    out.push_str(&tail);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let k = kinds("let x = a::b.c();");
+        assert_eq!(k[0], (TokKind::Ident, "let".into()));
+        assert_eq!(k[1], (TokKind::Ident, "x".into()));
+        assert_eq!(k[2], (TokKind::Punct, "=".into()));
+        assert_eq!(k[4], (TokKind::Punct, "::".into()));
+        assert!(k.contains(&(TokKind::Punct, ".".into())));
+    }
+
+    #[test]
+    fn strings_do_not_leak_idents() {
+        let toks = lex("let s = \"panic! Instant::now()\";");
+        assert!(toks.iter().all(|t| !(t.kind == TokKind::Ident && t.text == "panic")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = lex("let a = r#\"x \"q\" y\"#; let b = b\"z\"; let c = br##\"w\"##;");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::RawStr).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = lex("let c = 'x'; let e = '\\n'; fn f<'a>(s: &'a str) {} let b = b'q';");
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        let lifes: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(chars.len(), 3, "{chars:?}");
+        assert_eq!(lifes.len(), 2, "{lifes:?}");
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let k = kinds("let a = 1; let b = 1.5; let c = 1e3; let d = 0xff; let e = 2f64; let f = 1_000u32; let g = 1..5; let h = x.0;");
+        let ints: Vec<_> = k.iter().filter(|(k, _)| *k == TokKind::Int).map(|(_, t)| t.clone()).collect();
+        let floats: Vec<_> = k.iter().filter(|(k, _)| *k == TokKind::Float).map(|(_, t)| t.clone()).collect();
+        assert_eq!(floats, vec!["1.5", "1e3", "2f64"]);
+        assert!(ints.contains(&"0xff".to_string()));
+        assert!(ints.contains(&"1_000u32".to_string()));
+        // `1..5` stays a range of ints.
+        assert!(k.contains(&(TokKind::Punct, "..".into())));
+        // Tuple index: `.` then int.
+        assert!(ints.contains(&"0".to_string()));
+    }
+
+    #[test]
+    fn method_on_literal_is_not_a_float() {
+        let k = kinds("let a = 1.max(2);");
+        assert!(k.contains(&(TokKind::Int, "1".into())), "{k:?}");
+        assert!(k.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn nested_generics_keep_closers_split() {
+        let k = kinds("let v: Vec<Vec<u64>> = Vec::new();");
+        assert_eq!(
+            k.iter().filter(|(kind, t)| *kind == TokKind::Punct && t == ">").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_nested_and_line() {
+        let toks = lex("code(); // trailing\n/* a /* nested */ b */ more();");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::LineComment).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::BlockComment).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("more")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let toks = lex("a\n/* x\ny */\nb\n\"s1\ns2\"\nc");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+
+    #[test]
+    fn round_trips_itself() {
+        let src = "fn f(x: &'a str) -> u64 { let v = r#\"q\"#; x.len() as u64 + 0x1f }\n// done\n";
+        let toks = lex(src);
+        assert_eq!(round_trip(src, &toks).as_deref(), Some(src));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let k = kinds("let r#type = 1;");
+        assert!(k.contains(&(TokKind::Ident, "r#type".into())), "{k:?}");
+    }
+}

@@ -2,9 +2,10 @@
 //!
 //! The repo's machine-checked correctness gate, in two layers:
 //!
-//! 1. **Invariant lint pass** ([`scan`], [`rules`], [`run`]) — a
-//!    lightweight Rust source model (comments and string literals
-//!    stripped, `#[cfg(test)]` / `mod tests` scopes tracked, per-line
+//! 1. **Invariant lint pass** ([`lexer`], [`model`], [`rules`], [`run`])
+//!    — a hand-rolled Rust lexer feeding a per-file token model
+//!    (comments and string contents invisible by construction,
+//!    `#[cfg(test)]` / `mod tests` scopes tracked, per-line
 //!    `// analyzer: allow(<rule>) — <justification>` escapes honoured)
 //!    plus a rule engine with per-crate rule sets configured in
 //!    `analyzer.toml`:
@@ -19,29 +20,46 @@
 //!      runtime failure routes through `RuntimeError`/`ExecError`;
 //!    * *accounting rules* — lossy float→int `as` casts in
 //!      cost/intensity/kvcache accounting code must carry a written
-//!      justification.
+//!      justification, and the **accounting-dimension check**
+//!      (`unit-mismatch`) flags `+`/`-`/comparison between values whose
+//!      inferred units differ (tokens vs blocks vs seconds vs bytes vs
+//!      count — suffix conventions plus the `[units]` table);
+//!    * *semantic rules* — hash-order iteration via collection-type
+//!      tracking, bare float→int casts via float-name tracking, and
+//!      observer purity: branches gated on `EngineConfig::record_*`
+//!      may only assign to the `[observers]` allow-list.
 //!
 //!    A committed ratchet baseline ([`findings`]) makes CI fail on any
 //!    *new* finding while tolerating (and reporting) the baseline.
 //!
-//! 2. **Bounded protocol model checker** ([`protocol`]) — the
-//!    cluster↔worker supervision protocol (launch → exec → transfer-ack
-//!    → completion → `WorkerExit` → shutdown, including every fault
-//!    `FaultPlan` can inject) as an explicit state machine, exhaustively
-//!    explored over all interleavings for ≤3 stages × ≤3 in-flight
-//!    jobs. Machine-checked properties: no deadlock, exactly one
-//!    `WorkerExit` per rank on every path, and no completion delivered
-//!    after `ShutdownTimedOut`. The checker runs as ordinary `cargo
-//!    test`s, so the protocol proof re-runs in tier-1.
+//! 2. **Bounded protocol model checkers** ([`protocol`],
+//!    [`session_protocol`]) — explicit state machines explored
+//!    exhaustively by BFS:
+//!
+//!    * the cluster↔worker supervision protocol (launch → exec →
+//!      transfer-ack → completion → `WorkerExit` → shutdown, including
+//!      every fault `FaultPlan` can inject), ≤3 stages × ≤3 in-flight
+//!      jobs: no deadlock, exactly one `WorkerExit` per rank, no
+//!      completion after `ShutdownTimedOut`;
+//!    * the session-KV retention protocol (`SessionRetainer`:
+//!      retain / claim / pop_oldest_except / reclaim under memory
+//!      pressure), ≤3 sessions × ≤2 turns: no block leak, no claim
+//!      after drop, retained budget never exceeded, miss ⇒ full
+//!      prefill. Mutation scenarios prove both checkers non-vacuous.
+//!
+//!    The checkers run as ordinary `cargo test`s and in CI's analyze
+//!    step (`--check-protocols`), so the proofs re-run in tier-1.
 
 #![forbid(unsafe_code)]
 
 pub mod config;
 pub mod findings;
+pub mod lexer;
+pub mod model;
 pub mod protocol;
 pub mod rules;
 pub mod run;
-pub mod scan;
+pub mod session_protocol;
 
 pub use config::Config;
 pub use findings::{Baseline, Finding, RatchetDiff};

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! analyzer [--root DIR] [--config FILE] [--baseline FILE]
-//!          [--json] [--update-baseline] [--list-rules] [-q]
+//!          [--json] [--update-baseline] [--list-rules]
+//!          [--explain RULE] [--check-protocols] [-q]
 //! ```
 //!
-//! Exit status: 0 when no finding exceeds the ratchet baseline, 1 when
-//! new findings exist (or on usage/config errors, status 2).
+//! Exit status: 0 when no finding exceeds the ratchet baseline (and, for
+//! `--check-protocols`, when both bounded model checkers pass), 1 when
+//! new findings or protocol violations exist (usage/config errors: 2).
 
 use analyzer::{analyze_root, Baseline, Config};
 use std::path::PathBuf;
@@ -19,6 +21,8 @@ struct Opts {
     json: bool,
     update_baseline: bool,
     list_rules: bool,
+    explain: Option<String>,
+    check_protocols: bool,
     quiet: bool,
 }
 
@@ -30,6 +34,8 @@ fn parse_opts() -> Result<Opts, String> {
         json: false,
         update_baseline: false,
         list_rules: false,
+        explain: None,
+        check_protocols: false,
         quiet: false,
     };
     let mut config_set = false;
@@ -51,11 +57,16 @@ fn parse_opts() -> Result<Opts, String> {
             "--json" => opts.json = true,
             "--update-baseline" => opts.update_baseline = true,
             "--list-rules" => opts.list_rules = true,
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain needs a rule name")?);
+            }
+            "--check-protocols" => opts.check_protocols = true,
             "-q" | "--quiet" => opts.quiet = true,
             "-h" | "--help" => {
                 println!(
                     "analyzer [--root DIR] [--config FILE] [--baseline FILE] \
-                     [--json] [--update-baseline] [--list-rules] [-q]"
+                     [--json] [--update-baseline] [--list-rules] [--explain RULE] \
+                     [--check-protocols] [-q]"
                 );
                 std::process::exit(0);
             }
@@ -84,7 +95,40 @@ fn main() -> ExitCode {
         for rule in analyzer::rules::registry() {
             println!("{:<22} {}", rule.name, rule.description.split_whitespace().collect::<Vec<_>>().join(" "));
         }
+        println!();
+        println!("run `analyzer --explain <rule>` for the rationale, a firing example,");
+        println!("and the allow-escape syntax of any rule above.");
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(name) = &opts.explain {
+        let Some(rule) = analyzer::rules::rule_by_name(name) else {
+            eprintln!("analyzer: unknown rule `{name}` (see `analyzer --list-rules`)");
+            return ExitCode::from(2);
+        };
+        let squash = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ");
+        println!("{}", rule.name);
+        println!("{}", "=".repeat(rule.name.len()));
+        println!();
+        println!("{}", squash(rule.description));
+        println!();
+        println!("Why it exists here:");
+        println!("  {}", squash(rule.rationale));
+        println!();
+        println!("Example firing:");
+        println!("  {}", rule.example);
+        println!();
+        println!("Escaping a justified exception:");
+        println!("  code();  // analyzer: allow({}) — <why this site is safe>", rule.name);
+        println!();
+        println!("  A standalone `// analyzer: allow(..)` comment line applies to the");
+        println!("  next code line instead. The justification is mandatory: an allow");
+        println!("  without one does not suppress, it upgrades the finding.");
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.check_protocols {
+        return check_protocols(opts.quiet);
     }
 
     let cfg = match Config::load(&opts.config) {
@@ -176,4 +220,98 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Run both bounded model checkers: the cluster↔worker supervision
+/// protocol sweep and the session-KV retention sweep, plus the seeded
+/// mutation scenarios that prove the session checker non-vacuous.
+fn check_protocols(quiet: bool) -> ExitCode {
+    use analyzer::protocol;
+    use analyzer::session_protocol::{
+        all_session_scenarios, check_session, SessionMutation, SessionScenario,
+    };
+
+    let mut states = 0usize;
+    let cluster = protocol::all_scenarios(3, 3);
+    let cluster_count = cluster.len();
+    for sc in &cluster {
+        match protocol::check(sc) {
+            Ok(s) => states += s.states,
+            Err(v) => {
+                eprintln!("analyzer: cluster protocol: {v}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let sessions = all_session_scenarios(3, 2);
+    let session_count = sessions.len();
+    let (mut hits, mut misses, mut drops) = (0usize, 0usize, 0usize);
+    for sc in &sessions {
+        match check_session(sc) {
+            Ok(s) => {
+                states += s.states;
+                hits += s.hits;
+                misses += s.misses;
+                drops += s.drops;
+            }
+            Err(v) => {
+                eprintln!("analyzer: session protocol: {v}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if hits == 0 || misses == 0 || drops == 0 {
+        eprintln!(
+            "analyzer: session sweep is vacuous (hits {hits}, misses {misses}, \
+             drops {drops}) — the scenarios no longer exercise the protocol"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Non-vacuity: every seeded bug must produce a counterexample.
+    let base = SessionScenario {
+        sessions: 2,
+        turns: 2,
+        total_blocks: 7,
+        budget_blocks: 2,
+        turn_blocks: 2,
+        mutation: SessionMutation::None,
+    };
+    let mutations = [
+        SessionMutation::BudgetBlind,
+        SessionMutation::NoDiscountClear,
+        SessionMutation::DonorLeak,
+    ];
+    for m in mutations {
+        let sc = SessionScenario {
+            mutation: m,
+            budget_blocks: if m == SessionMutation::DonorLeak { 4 } else { 2 },
+            ..base
+        };
+        match check_session(&sc) {
+            Err(v) if !v.trace.is_empty() => {}
+            Err(_) => {
+                eprintln!("analyzer: mutation {m:?} violated without a trace");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {
+                eprintln!(
+                    "analyzer: mutation {m:?} passed the checker — the session \
+                     properties are vacuous"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !quiet {
+        println!(
+            "analyzer: protocols ok — {cluster_count} cluster scenario(s), \
+             {session_count} session scenario(s), {} mutation(s) caught, \
+             {states} state(s) explored",
+            mutations.len()
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -1,10 +1,10 @@
-//! The lint driver: walk the configured paths, scan each file once,
+//! The lint driver: walk the configured paths, model each file once,
 //! apply every rule set that covers it, honour allow escapes.
 
 use crate::config::Config;
 use crate::findings::{Finding, Suppressed};
-use crate::rules::rule_by_name;
-use crate::scan::{scan_source, ScannedFile};
+use crate::model::FileModel;
+use crate::rules::{rule_by_name, RuleCtx};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -49,34 +49,38 @@ pub fn analyze_root(root: &Path, cfg: &Config) -> Result<Analysis, String> {
         }
     }
 
-    // Scan every file once.
-    let mut scans: BTreeMap<PathBuf, ScannedFile> = BTreeMap::new();
+    // Model every file once.
+    let mut models: BTreeMap<PathBuf, FileModel> = BTreeMap::new();
     for path in file_sets.keys() {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        scans.insert(path.clone(), scan_source(&text));
+        models.insert(path.clone(), FileModel::build(&text));
     }
 
     // Files declared `#[cfg(test)] mod name;` anywhere in their directory
     // are test-only: skip them wholesale.
     let mut test_files: Vec<PathBuf> = Vec::new();
-    for (path, scanned) in &scans {
+    for (path, model) in &models {
         let Some(dir) = path.parent() else { continue };
-        for name in &scanned.gated_mods {
+        for name in &model.gated_mods {
             test_files.push(dir.join(format!("{name}.rs")));
             test_files.push(dir.join(name).join("mod.rs"));
         }
     }
 
+    let ctx = RuleCtx {
+        units: &cfg.units,
+        observers: &cfg.observers,
+    };
     let mut out = Analysis {
-        files_scanned: scans.len(),
+        files_scanned: models.len(),
         ..Analysis::default()
     };
     for (path, set_ids) in &file_sets {
         if test_files.iter().any(|t| t == path) {
             continue;
         }
-        let scanned = &scans[path];
+        let model = &models[path];
         let rel = rel_name(root, path);
         // Union of rules across the sets covering this file, first set wins
         // the ordering; a rule listed twice runs once.
@@ -88,22 +92,25 @@ pub fn analyze_root(root: &Path, cfg: &Config) -> Result<Analysis, String> {
                 }
             }
         }
-        for line in &scanned.lines {
-            if line.in_test || line.code.trim().is_empty() {
+        for rule_name in &rules_seen {
+            let Some(rule) = rule_by_name(rule_name) else {
+                // Config validation rejects unknown rules before this
+                // point; skipping keeps the driver total anyway.
                 continue;
-            }
-            for rule_name in &rules_seen {
-                let rule = rule_by_name(rule_name).expect("config validated");
-                let Some(msg) = (rule.check)(&line.code) else {
-                    continue;
-                };
+            };
+            let mut hit_lines: Vec<usize> = Vec::new();
+            for hit in (rule.check)(model, &ctx) {
+                if model.line_in_test(hit.line) || hit_lines.contains(&hit.line) {
+                    continue; // test-scoped, or a second hit on the same line
+                }
+                hit_lines.push(hit.line);
                 let finding = Finding {
                     file: rel.clone(),
-                    line: line.number,
+                    line: hit.line,
                     rule: (*rule_name).to_string(),
-                    message: format!("{msg}: `{}`", excerpt(&line.raw)),
+                    message: format!("{}: `{}`", hit.message, excerpt(model.raw_line(hit.line))),
                 };
-                match scanned.allows_for(line.number, rule_name) {
+                match model.allows_for(hit.line, rule_name) {
                     Some(allow) if !allow.justification.is_empty() => {
                         out.suppressed.push(Suppressed {
                             finding,
@@ -115,7 +122,8 @@ pub fn analyze_root(root: &Path, cfg: &Config) -> Result<Analysis, String> {
                         // count; the finding stands, upgraded.
                         out.findings.push(Finding {
                             message: format!(
-                                "{msg} (allow escape present but carries no justification)"
+                                "{} (allow escape present but carries no justification)",
+                                hit.message
                             ),
                             ..finding
                         });
@@ -126,7 +134,7 @@ pub fn analyze_root(root: &Path, cfg: &Config) -> Result<Analysis, String> {
         }
         // Malformed escapes: an `analyzer:` comment that parses to no
         // rules is a typo that would silently not suppress.
-        for allow in &scanned.allows {
+        for allow in &model.allows {
             if allow.rules.is_empty() {
                 out.findings.push(Finding {
                     file: rel.clone(),
@@ -150,6 +158,7 @@ pub fn analyze_root(root: &Path, cfg: &Config) -> Result<Analysis, String> {
         }
     }
     out.findings.sort();
+    out.findings.dedup();
     out.suppressed.sort_by(|a, b| a.finding.cmp(&b.finding));
     Ok(out)
 }

@@ -188,6 +188,222 @@ fn allow_escapes_suppress_only_with_justification() {
         .any(|f| f.rule == "no-instant-now" && f.line == 6));
 }
 
+/// Single-rule fixture config over `sem/<rule-file>.rs`, with the
+/// [units] / [observers] tables the semantic rules consume.
+fn semantic_config(file: &str, rule: &str) -> String {
+    format!(
+        "[set.fixture]\npaths = [\"sem/{file}\"]\nrules = [\"{rule}\"]\n\n\
+         [units]\nheld = \"tokens\"\n\n\
+         [observers]\nnames = [\"occupancy\"]\n"
+    )
+}
+
+/// Fired and suppressed line numbers for one rule under `cfg_text`.
+fn lines_for(fix: &Fixture, cfg_text: &str, rule: &str) -> (Vec<usize>, Vec<usize>) {
+    let cfg = Config::parse(cfg_text).expect("fixture config parses");
+    let analysis = analyze_root(&fix.root, &cfg).expect("analysis runs");
+    let fired = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect();
+    let suppressed = analysis
+        .suppressed
+        .iter()
+        .filter(|s| s.finding.rule == rule)
+        .map(|s| s.finding.line)
+        .collect();
+    (fired, suppressed)
+}
+
+#[test]
+fn unit_mismatch_catches_the_doctored_tokens_plus_blocks_bug() {
+    // The full-repo scan is clean, so the dimension lint's value is
+    // proven here instead: a deliberately doctored `tokens + blocks`
+    // accounting bug, alongside same-unit / conversion / table-driven /
+    // escaped / test-scoped neighbours.
+    let fix = Fixture::new("units");
+    fix.write(
+        "sem/units.rs",
+        "fn doctored(prompt_tokens: u64, retained_blocks: u64) -> u64 {\n\
+             prompt_tokens + retained_blocks\n\
+         }\n\
+         fn fine(prompt_tokens: u64, decode_tokens: u64) -> u64 {\n\
+             prompt_tokens + decode_tokens\n\
+         }\n\
+         fn conversion(used_blocks: u64, block_size: u64) -> u64 {\n\
+             used_blocks * block_size\n\
+         }\n\
+         fn table(held: u64, free_blocks: u64) -> bool {\n\
+             held < free_blocks\n\
+         }\n\
+         fn escaped(a_tokens: u64, b_blocks: u64) -> u64 {\n\
+             a_tokens + b_blocks // analyzer: allow(unit-mismatch) — fixture: deliberate cross-unit sum\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             fn t(x_tokens: u64, y_blocks: u64) -> u64 { x_tokens + y_blocks }\n\
+         }\n",
+    );
+    let (fired, suppressed) =
+        lines_for(&fix, &semantic_config("units.rs", "unit-mismatch"), "unit-mismatch");
+    // Line 2: the doctored bug. Line 11: `held` is tokens by the [units]
+    // table, so comparing it to `free_blocks` is a mismatch.
+    assert_eq!(fired, vec![2, 11], "{fired:?}");
+    assert_eq!(suppressed, vec![14], "{suppressed:?}");
+}
+
+#[test]
+fn float_int_cast_tracks_float_names() {
+    let fix = Fixture::new("casts");
+    fix.write(
+        "sem/casts.rs",
+        "fn bad() -> u64 {\n\
+             let frac = 0.5;\n\
+             frac as u64\n\
+         }\n\
+         fn good(n: u64) -> u64 {\n\
+             n as u64\n\
+         }\n\
+         fn annotated(rate: f64) -> u32 {\n\
+             rate as u32\n\
+         }\n\
+         fn escaped() -> u64 {\n\
+             let f = 1.5;\n\
+             f as u64 // analyzer: allow(float-int-cast) — fixture: floor semantics intended\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             fn t() -> u64 { let g = 2.5; g as u64 }\n\
+         }\n",
+    );
+    let (fired, suppressed) =
+        lines_for(&fix, &semantic_config("casts.rs", "float-int-cast"), "float-int-cast");
+    assert_eq!(fired, vec![3, 9], "{fired:?}");
+    assert_eq!(suppressed, vec![13], "{suppressed:?}");
+}
+
+#[test]
+fn hash_order_iteration_tracks_collection_types() {
+    let fix = Fixture::new("hash");
+    fix.write(
+        "sem/hash.rs",
+        "fn bad() {\n\
+             let mut seen: HashMap<u64, u64> = HashMap::new();\n\
+             for k in seen.keys() {\n\
+                 let _ = k;\n\
+             }\n\
+         }\n\
+         fn good() {\n\
+             let mut other: HashMap<u64, u64> = HashMap::new();\n\
+             let _ = other.get(&3);\n\
+             other.insert(1, 2);\n\
+         }\n\
+         fn sorted() {\n\
+             let ordered: BTreeMap<u64, u64> = BTreeMap::new();\n\
+             for k in ordered.keys() {\n\
+                 let _ = k;\n\
+             }\n\
+         }\n\
+         fn escaped() {\n\
+             let pool: HashSet<u64> = HashSet::new();\n\
+             // analyzer: allow(hash-order-iteration) — fixture: order-independent fold\n\
+             for k in pool.iter() {\n\
+                 let _ = k;\n\
+             }\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             fn t() {\n\
+                 let m: HashMap<u64, u64> = HashMap::new();\n\
+                 for k in m.keys() { let _ = k; }\n\
+             }\n\
+         }\n",
+    );
+    let (fired, suppressed) = lines_for(
+        &fix,
+        &semantic_config("hash.rs", "hash-order-iteration"),
+        "hash-order-iteration",
+    );
+    assert_eq!(fired, vec![3], "{fired:?}");
+    assert_eq!(suppressed, vec![21], "{suppressed:?}");
+}
+
+#[test]
+fn observer_purity_guards_gated_branches() {
+    let fix = Fixture::new("obs");
+    fix.write(
+        "sem/obs.rs",
+        "impl Eng {\n\
+             fn pure(&mut self, used: u64) {\n\
+                 if self.cfg.record_occupancy {\n\
+                     self.occupancy = used;\n\
+                 }\n\
+             }\n\
+             fn impure(&mut self, used: u64) {\n\
+                 if self.cfg.record_occupancy {\n\
+                     self.steps += used;\n\
+                 }\n\
+             }\n\
+             fn off_path(&mut self) {\n\
+                 if self.cfg.record_occupancy {\n\
+                     let local = 1;\n\
+                 } else {\n\
+                     self.steps += 1;\n\
+                 }\n\
+             }\n\
+             fn flips_gate(&mut self) {\n\
+                 self.cfg.record_occupancy = false;\n\
+             }\n\
+             fn escaped(&mut self) {\n\
+                 if self.cfg.record_occupancy {\n\
+                     // analyzer: allow(observer-purity) — fixture: sample counter feeds the report only\n\
+                     self.samples += 1;\n\
+                 }\n\
+             }\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             fn t(e: &mut Eng) {\n\
+                 if e.cfg.record_occupancy {\n\
+                     e.steps += 1;\n\
+                 }\n\
+             }\n\
+         }\n",
+    );
+    let (fired, suppressed) =
+        lines_for(&fix, &semantic_config("obs.rs", "observer-purity"), "observer-purity");
+    // Line 4 assigns the allow-listed `occupancy` sink — clean. Line 9
+    // mutates engine state when recording is on; line 16 mutates it when
+    // recording is *off*; line 20 flips the gate after construction.
+    assert_eq!(fired, vec![9, 16, 20], "{fired:?}");
+    assert_eq!(suppressed, vec![25], "{suppressed:?}");
+}
+
+#[test]
+fn lexer_round_trips_the_analyzer_sources() {
+    // The analyzer's own sources are the richest Rust corpus guaranteed
+    // present: raw strings, em-dash comments, nested generics, floats.
+    let src_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&src_dir).expect("read src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            let text = std::fs::read_to_string(&path).expect("read source");
+            let toks = analyzer::lexer::lex(&text);
+            assert_eq!(
+                analyzer::lexer::round_trip(&text, &toks).as_deref(),
+                Some(text.as_str()),
+                "{} did not round-trip losslessly",
+                path.display()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 8, "only {checked} sources round-tripped");
+}
+
 #[test]
 fn ratchet_round_trip_through_committed_json() {
     let fix = Fixture::new("ratchet");

@@ -447,11 +447,11 @@ impl TdPipeEngine {
         let mut sess: Option<SessionRun<'_>> = sessions.map(|st| {
             assert_eq!(st.len(), trace.len(), "session turn table matches trace");
             st.check_invariants();
+            let frac = e.session_retain_frac.clamp(0.0, 1.0);
             // analyzer: allow(lossy-float-cast) — retain_frac is clamped
             // to [0,1] and kv_blocks ≤ 2^32, so the product is exact
             // enough and stays well inside u64.
-            let budget = (self.plan.kv_blocks as f64
-                * e.session_retain_frac.clamp(0.0, 1.0)) as u64;
+            let budget = (self.plan.kv_blocks as f64 * frac) as u64;
             let mut retainer =
                 SessionRetainer::new(if e.session_reuse { budget } else { 0 });
             retainer.reserve_ids(st.len());

@@ -332,6 +332,8 @@ impl BlockAllocator {
             self.used_blocks <= self.num_blocks,
             "extend_one_each caller must guard free_blocks() >= ids.len()"
         );
+        // analyzer: allow(unit-mismatch) — each batch member gains
+        // exactly one token, so the extend count *is* the token delta.
         self.resident_tokens += count;
         self.stats.extends += count;
         // Used blocks grow monotonically across the batch, so one final

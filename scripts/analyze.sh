@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Run the in-repo invariant lint pass (crates/analyzer) against the
-# committed ratchet baseline.
+# committed ratchet baseline, plus the bounded protocol model checkers
+# (cluster↔worker supervision and session-KV retention, with their
+# non-vacuity mutations).
 #
 #   scripts/analyze.sh                    # human-readable, fails on new findings
 #   scripts/analyze.sh --json             # machine-readable report
 #   scripts/analyze.sh --update-baseline  # re-record analyzer.baseline.json
 #
-# Extra arguments are passed through to the analyzer binary
-# (see `cargo run -p analyzer -- --help`).
+# Extra arguments are passed through to the analyzer binary's lint
+# invocation (see `cargo run -p analyzer -- --help`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo run --quiet --release -p analyzer -- --check-protocols -q
 exec cargo run --quiet --release -p analyzer -- --root . "$@"

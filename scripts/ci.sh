@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # The one-command gate: everything a change must pass before merging.
 #
-#   1. invariant lint pass (crates/analyzer vs the committed baseline)
+#   1. invariant lint pass (crates/analyzer vs the committed baseline —
+#      the analyzer scans its own sources via the `tooling` rule set)
+#      plus both bounded protocol model checkers (`--check-protocols`:
+#      cluster↔worker supervision and session-KV retention, each proven
+#      non-vacuous by seeded mutations)
 #   2. release build of the whole workspace
 #   3. full test suite (unit + integration, all crates — includes the
 #      bounded protocol model checker)
@@ -34,7 +38,7 @@ cd "$(dirname "$0")/.."
 
 step() { printf '\n\033[1m== %s ==\033[0m\n' "$1"; }
 
-step "analyze (invariant lint pass)"
+step "analyze (invariant lint pass + protocol model checkers)"
 scripts/analyze.sh
 
 step "build (release)"
