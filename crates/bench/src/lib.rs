@@ -153,6 +153,52 @@ pub fn run_scheduler_with_arrivals<P: OutputLenPredictor + ?Sized>(
     }
 }
 
+/// The lock-free parallel-map substrate every sweep in this crate runs on
+/// (and `tdpipe-fleet` reuses for replica execution): workers claim item
+/// indices off a shared atomic counter (so long items do not serialise
+/// behind short ones), buffer `(index, result)` pairs locally, and the
+/// scope's join handles deliver each worker's buffer back to the caller,
+/// which scatters them into input order. No mutex is held anywhere, and
+/// nothing is contended but the counter. Because each item's computation
+/// is independent and deterministic, the result vector is byte-identical
+/// to a serial map for *any* `threads`.
+pub fn map_indexed_parallel<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        done.push((i, f(i, &items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
 /// [`run_cells_parallel_with_threads`] for online sweeps: every cell runs
 /// over the same trace *and* the same arrival vector. Same lock-free
 /// claim-off-a-counter shape; results come back in input order and are
@@ -164,38 +210,9 @@ pub fn run_cells_parallel_arrivals_with_threads<P: OutputLenPredictor + Sync + ?
     predictor: &P,
     threads: usize,
 ) -> Vec<Option<RunReport>> {
-    let threads = threads.max(1).min(cells.len().max(1));
-    let mut results: Vec<Option<RunReport>> = vec![None; cells.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done: Vec<(usize, Option<RunReport>)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= cells.len() {
-                            break;
-                        }
-                        let (s, model, node) = &cells[i];
-                        done.push((
-                            i,
-                            run_scheduler_with_arrivals(
-                                *s, model, node, trace, arrivals, predictor,
-                            ),
-                        ));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
-                results[i] = r;
-            }
-        }
-    });
-    results
+    map_indexed_parallel(cells, threads, |_, (s, model, node)| {
+        run_scheduler_with_arrivals(*s, model, node, trace, arrivals, predictor)
+    })
 }
 
 /// Run TD-Pipe with an explicit configuration (ablations).
@@ -240,33 +257,9 @@ pub fn run_cells_parallel_with_threads<P: OutputLenPredictor + Sync + ?Sized>(
     predictor: &P,
     threads: usize,
 ) -> Vec<Option<RunReport>> {
-    let threads = threads.max(1).min(cells.len().max(1));
-    let mut results: Vec<Option<RunReport>> = vec![None; cells.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done: Vec<(usize, Option<RunReport>)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= cells.len() {
-                            break;
-                        }
-                        let (s, model, node) = &cells[i];
-                        done.push((i, run_scheduler(*s, model, node, trace, predictor)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
-                results[i] = r;
-            }
-        }
-    });
-    results
+    map_indexed_parallel(cells, threads, |_, (s, model, node)| {
+        run_scheduler(*s, model, node, trace, predictor)
+    })
 }
 
 /// One unit of a multi-cell, multi-seed sweep: a scheduler/model/node cell
@@ -339,32 +332,7 @@ pub fn run_sweep_parallel_with_threads<P: OutputLenPredictor + Sync + ?Sized>(
     predictor: &P,
     threads: usize,
 ) -> Vec<Option<RunReport>> {
-    let threads = threads.max(1).min(specs.len().max(1));
-    let mut results: Vec<Option<RunReport>> = vec![None; specs.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done: Vec<(usize, Option<RunReport>)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= specs.len() {
-                            break;
-                        }
-                        done.push((i, specs[i].run(predictor)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
-                results[i] = r;
-            }
-        }
-    });
-    results
+    map_indexed_parallel(specs, threads, |_, spec| spec.run(predictor))
 }
 
 /// Directory the binaries drop machine-readable results into.
@@ -394,6 +362,18 @@ pub fn save_text(name: &str, contents: &str) {
 mod tests {
     use super::*;
     use tdpipe_predictor::OraclePredictor;
+
+    #[test]
+    fn map_indexed_parallel_preserves_input_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let want: Vec<usize> = (0..37).map(|i| i * 1001).collect();
+        for threads in [1, 2, 5, 64] {
+            let out = map_indexed_parallel(&items, threads, |i, &x| i * 1000 + x);
+            assert_eq!(out, want, "{threads} threads");
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(map_indexed_parallel(&empty, 4, |i, _| i).is_empty());
+    }
 
     #[test]
     fn scheduler_names() {

@@ -1,0 +1,322 @@
+//! Fleet-level aggregation: per-replica reports rolled up into one
+//! cluster report, with SLO attainment, goodput, and replica-labelled
+//! metrics.
+
+use serde::{Deserialize, Serialize};
+use tdpipe_metrics::{MetricEntry, MetricValue, MetricsSnapshot};
+use tdpipe_sim::report::{LatencySummary, RunReport};
+use std::collections::BTreeMap;
+
+/// The latency target a request must meet to count toward goodput.
+/// TD-Pipe trades TTFT for throughput, so the fleet SLO is deliberately
+/// loose by default; sweeps tighten it to expose the trade.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Time-to-first-token target in seconds.
+    pub ttft_s: f64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        SloSpec { ttft_s: 10.0 }
+    }
+}
+
+/// One replica's slice of the fleet outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// The replica's label (`"l20-0"`, …).
+    pub label: String,
+    /// Units (requests, or whole sessions) the router assigned here.
+    pub assigned: usize,
+    /// The replica engine's own run report (zero-request for starved
+    /// replicas — it renders `n/a`, never NaN).
+    pub report: RunReport,
+    /// Fraction of this replica's completed requests whose TTFT met the
+    /// fleet SLO (estimated from the latency quantile sketch; 0.0 when the
+    /// replica completed nothing).
+    pub slo_attainment: f64,
+}
+
+/// The cluster-level rollup: what the fleet as a whole achieved.
+///
+/// Aggregation semantics worth stating explicitly:
+/// * `makespan` is the **max** over replica makespans — replicas run
+///   concurrently, so summing them would overstate wall time by ~N×.
+/// * `goodput` divides *SLO-attained* completions by that makespan; a
+///   fleet can have high throughput and poor goodput when one replica is
+///   overloaded past the TTFT target.
+/// * Token totals and phase switches sum — they are work, not time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Router policy name (`rr`/`jsq`/`kv`/`affine`).
+    pub policy: String,
+    /// Router seed (affine home hash; recorded for reproducibility).
+    pub seed: u64,
+    /// Number of replicas in the pool.
+    pub num_replicas: usize,
+    /// Requests completed across the fleet.
+    pub num_requests: usize,
+    /// Fleet wall time: max over replica makespans (seconds).
+    pub makespan: f64,
+    /// Prompt tokens prefetched across the fleet.
+    pub input_tokens: u64,
+    /// Generated tokens across the fleet.
+    pub output_tokens: u64,
+    /// Recomputed (wasted) prompt tokens across the fleet.
+    pub recomputed_tokens: u64,
+    /// Offered load: requests divided by the arrival span (requests/s;
+    /// 0 for offline workloads where every arrival is t=0).
+    pub offered_rate: f64,
+    /// SLO-attained completions per second of fleet makespan.
+    pub goodput: f64,
+    /// Fleet-wide fraction of completions that met the TTFT SLO.
+    pub slo_attainment: f64,
+    /// Affine units whose home replica was over the spill threshold.
+    pub spills: u64,
+    /// Per-replica breakdown, in pool order.
+    pub replicas: Vec<ReplicaReport>,
+}
+
+impl FleetReport {
+    /// Fleet throughput in total (prompt + generated) tokens/s over the
+    /// fleet makespan. 0 when nothing ran.
+    pub fn throughput_total(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        (self.input_tokens + self.output_tokens) as f64 / self.makespan
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet[{}] {} replicas  {} requests  offered {:.2} req/s",
+            self.policy, self.num_replicas, self.num_requests, self.offered_rate,
+        )?;
+        if self.num_requests == 0 {
+            writeln!(
+                f,
+                "  makespan      n/a  throughput      n/a  goodput      n/a  slo-attain   n/a  spills {:>4}",
+                self.spills,
+            )?;
+        } else {
+            writeln!(
+                f,
+                "  makespan {:>7.1}s  throughput {:>7.0} tok/s  goodput {:>6.2} req/s  slo-attain {:>5.1}%  spills {:>4}",
+                self.makespan,
+                self.throughput_total(),
+                self.goodput,
+                self.slo_attainment * 100.0,
+                self.spills,
+            )?;
+        }
+        for r in &self.replicas {
+            writeln!(
+                f,
+                "  {:<8} [{:>4} assigned, slo {:>5.1}%]  {}",
+                r.label,
+                r.assigned,
+                r.slo_attainment * 100.0,
+                r.report,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Estimate the fraction of requests whose TTFT is at or below `slo_s`
+/// from the latency summary's quantile sketch.
+///
+/// The engine keeps quantiles, not raw samples, so this interpolates the
+/// empirical CDF piecewise-linearly through `(0, 0) → (0.5, p50) →
+/// (0.95, p95) → (0.99, p99)` and saturates at 1.0 beyond p99. Exact at
+/// the knots, monotone in between — and deterministic, which is what the
+/// fleet contract actually needs.
+pub fn ttft_attainment(latency: &LatencySummary, slo_s: f64) -> f64 {
+    let knots = [
+        (0.0, 0.0),
+        (latency.ttft_p50, 0.5),
+        (latency.ttft_p95, 0.95),
+        (latency.ttft_p99, 0.99),
+    ];
+    if slo_s <= 0.0 {
+        return 0.0;
+    }
+    for w in knots.windows(2) {
+        let (t0, q0) = w[0];
+        let (t1, q1) = w[1];
+        if slo_s < t1 {
+            if t1 <= t0 {
+                // Degenerate knot (all requests identical): step function.
+                return q0;
+            }
+            return q0 + (q1 - q0) * (slo_s - t0) / (t1 - t0);
+        }
+    }
+    1.0
+}
+
+/// Merge per-replica metrics snapshots into one fleet snapshot, making
+/// them disjoint with a `replica` label first (two replicas export the
+/// *same* engine metric names, which `merged` rightly rejects as a
+/// collision until each side carries its provenance).
+pub fn merged_replica_metrics(per_replica: Vec<(String, MetricsSnapshot)>) -> MetricsSnapshot {
+    per_replica
+        .into_iter()
+        .fold(MetricsSnapshot::empty(), |acc, (label, snap)| {
+            acc.merged(snap.with_label("replica", &label))
+        })
+}
+
+/// Fleet headline metrics, exported alongside the merged replica
+/// snapshots. Gauges are finite-guarded at the source (`MetricValue::
+/// Gauge` must never be NaN).
+pub fn fleet_headline_metrics(report: &FleetReport) -> MetricsSnapshot {
+    fn gauge(name: &str, help: &str, v: f64) -> MetricEntry {
+        MetricEntry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: BTreeMap::new(),
+            value: MetricValue::Gauge(if v.is_finite() { v } else { 0.0 }),
+        }
+    }
+    fn counter(name: &str, help: &str, v: u64) -> MetricEntry {
+        MetricEntry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: BTreeMap::new(),
+            value: MetricValue::Counter(v),
+        }
+    }
+    let mut metrics = vec![
+        counter(
+            "fleet_requests_total",
+            "requests completed across the fleet",
+            report.num_requests as u64,
+        ),
+        counter(
+            "fleet_spills_total",
+            "affine units spilled off their home replica",
+            report.spills,
+        ),
+        gauge(
+            "fleet_makespan_seconds",
+            "max over replica makespans",
+            report.makespan,
+        ),
+        gauge(
+            "fleet_goodput_requests_per_s",
+            "SLO-attained completions per second of fleet makespan",
+            report.goodput,
+        ),
+        gauge(
+            "fleet_slo_attainment",
+            "fraction of completions meeting the TTFT SLO",
+            report.slo_attainment,
+        ),
+    ];
+    metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    MetricsSnapshot {
+        metrics,
+        series: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency(p50: f64, p95: f64, p99: f64) -> LatencySummary {
+        LatencySummary {
+            ttft_mean: p50,
+            ttft_p50: p50,
+            ttft_p95: p95,
+            ttft_p99: p99,
+            tpot_p50: 0.01,
+            tpot_p95: 0.02,
+            completion_mean: p50 * 2.0,
+            completion_p50: p50 * 2.0,
+            completion_p99: p99 * 2.0,
+        }
+    }
+
+    #[test]
+    fn attainment_interpolates_the_quantile_sketch() {
+        let l = latency(1.0, 2.0, 4.0);
+        // Exact at the knots.
+        assert!((ttft_attainment(&l, 1.0) - 0.5).abs() < 1e-12);
+        assert!((ttft_attainment(&l, 2.0) - 0.95).abs() < 1e-12);
+        assert!((ttft_attainment(&l, 4.0) - 1.0).abs() < 1e-12);
+        // Linear in between.
+        assert!((ttft_attainment(&l, 1.5) - 0.725).abs() < 1e-12);
+        // Saturates and floors.
+        assert_eq!(ttft_attainment(&l, 100.0), 1.0);
+        assert_eq!(ttft_attainment(&l, 0.0), 0.0);
+        assert_eq!(ttft_attainment(&l, -1.0), 0.0);
+        // Below p50 it interpolates from (0, 0).
+        assert!((ttft_attainment(&l, 0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attainment_handles_degenerate_quantiles() {
+        // Every request identical: the CDF is a step at t=3.
+        let l = latency(3.0, 3.0, 3.0);
+        assert!(ttft_attainment(&l, 2.9) < 0.5 + 1e-12);
+        assert_eq!(ttft_attainment(&l, 3.0), 1.0);
+        assert!(ttft_attainment(&l, 0.1) >= 0.0);
+    }
+
+    #[test]
+    fn zero_request_fleet_report_renders_na() {
+        let report = FleetReport {
+            policy: "jsq".into(),
+            seed: 0,
+            num_replicas: 2,
+            num_requests: 0,
+            makespan: 0.0,
+            input_tokens: 0,
+            output_tokens: 0,
+            recomputed_tokens: 0,
+            offered_rate: 0.0,
+            goodput: 0.0,
+            slo_attainment: 0.0,
+            spills: 0,
+            replicas: Vec::new(),
+        };
+        let text = report.to_string();
+        assert!(text.contains("n/a"));
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+        assert_eq!(report.throughput_total(), 0.0);
+    }
+
+    #[test]
+    fn headline_metrics_are_finite_and_sorted() {
+        let report = FleetReport {
+            policy: "kv".into(),
+            seed: 7,
+            num_replicas: 2,
+            num_requests: 10,
+            makespan: 5.0,
+            input_tokens: 1000,
+            output_tokens: 500,
+            recomputed_tokens: 0,
+            offered_rate: 4.0,
+            goodput: f64::NAN, // deliberately poisoned input
+            slo_attainment: 0.8,
+            spills: 3,
+            replicas: Vec::new(),
+        };
+        let snap = fleet_headline_metrics(&report);
+        assert_eq!(snap.scalar("fleet_requests_total"), Some(10.0));
+        assert_eq!(snap.scalar("fleet_spills_total"), Some(3.0));
+        // NaN gauges are guarded to 0 — the snapshot contract bans NaN.
+        assert_eq!(snap.scalar("fleet_goodput_requests_per_s"), Some(0.0));
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "entries sorted by name");
+    }
+}

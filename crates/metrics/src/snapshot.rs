@@ -104,6 +104,37 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Return this snapshot with `key="value"` added to every metric's
+    /// label set and a `{key="value"}` suffix appended to every series
+    /// name, restoring the `(name, labels)` sort order afterwards.
+    ///
+    /// This is how a fleet aggregation makes N per-replica snapshots
+    /// disjoint before [`Self::merged`]: two replicas export the *same*
+    /// engine metrics, which `merged` correctly treats as a key collision
+    /// until each side carries a distinguishing `replica` label.
+    ///
+    /// # Panics
+    /// Panics if some entry already carries the label `key` — silently
+    /// overwriting provenance would make two different sources merge
+    /// clean.
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        for m in &mut self.metrics {
+            let prior = m.labels.insert(key.to_string(), value.to_string());
+            assert!(
+                prior.is_none(),
+                "label {key} already set on metric {}",
+                m.name
+            );
+        }
+        self.metrics
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        for s in &mut self.series {
+            s.name = format!("{}{{{key}=\"{value}\"}}", s.name);
+        }
+        self.series.sort_by(|a, b| a.name.cmp(&b.name));
+        self
+    }
+
     /// Combine two snapshots (e.g. an engine run's and a side-channel
     /// exporter's), restoring the `(name, labels)` sort order so the
     /// byte-stability contract survives the merge.
@@ -131,5 +162,67 @@ impl MetricsSnapshot {
 impl Default for MetricsSnapshot {
     fn default() -> Self {
         Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: vec![MetricEntry {
+                name: "throughput_total".into(),
+                help: "tokens per second".into(),
+                labels: BTreeMap::new(),
+                value: MetricValue::Gauge(100.0),
+            }],
+            series: vec![Series {
+                name: "kv_occupancy".into(),
+                points: vec![SeriesPoint { t: 0.0, v: 0.5 }],
+            }],
+        }
+    }
+
+    /// The satellite's collision-vs-label contract: merging two replicas'
+    /// identical snapshots panics without a distinguishing label and is
+    /// well-defined with one.
+    #[test]
+    fn identical_snapshots_collide_unlabelled_but_merge_labelled() {
+        let collision = std::panic::catch_unwind(|| snapshot().merged(snapshot()));
+        assert!(collision.is_err(), "same (name, labels) key must collide");
+
+        let merged = snapshot()
+            .with_label("replica", "l20-0")
+            .merged(snapshot().with_label("replica", "a100-0"));
+        assert_eq!(merged.metrics.len(), 2);
+        assert_eq!(merged.series.len(), 2);
+        assert!(merged
+            .get_labeled("throughput_total", &[("replica", "l20-0")])
+            .is_some());
+        assert!(merged
+            .get_labeled("throughput_total", &[("replica", "a100-0")])
+            .is_some());
+        // Labelled entries no longer answer the unlabelled lookup.
+        assert!(merged.get("throughput_total").is_none());
+        // Series stay distinguishable and sorted by name.
+        let names: Vec<&str> = merged.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "kv_occupancy{replica=\"a100-0\"}",
+                "kv_occupancy{replica=\"l20-0\"}"
+            ]
+        );
+    }
+
+    #[test]
+    fn with_label_keeps_sort_order_and_rejects_relabelling() {
+        let labelled = snapshot().with_label("replica", "r0");
+        let json_a = serde_json::to_string(&labelled).unwrap();
+        let json_b = serde_json::to_string(&snapshot().with_label("replica", "r0")).unwrap();
+        assert_eq!(json_a, json_b, "labelling is deterministic");
+        let double = std::panic::catch_unwind(|| labelled.with_label("replica", "r1"));
+        assert!(double.is_err(), "relabelling must not silently overwrite");
     }
 }

@@ -94,6 +94,17 @@ impl RunReport {
 
 impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.num_requests == 0 {
+            // A run that completed zero requests (a starved replica under
+            // a shortest-queue fleet router is the first real producer of
+            // these) has no meaningful makespan, throughput, utilization
+            // or recompute ratio — render `n/a` instead of 0/0 artifacts.
+            return write!(
+                f,
+                "{:<10} {:>8}   {:>9} tok/s total ({:>8} out)  util {:>5}   switches {:>3}  recompute {:>4}   (0 requests)",
+                self.scheduler, "n/a", "n/a", "n/a", "n/a", self.phase_switches, "n/a",
+            );
+        }
         write!(
             f,
             "{:<10} {:>8.1}s  {:>9.0} tok/s total ({:>8.0} out)  util {:>5.1}%  switches {:>3}  recompute {:>4.1}%",
@@ -157,6 +168,32 @@ mod tests {
     #[test]
     fn display_is_one_line() {
         assert_eq!(report().to_string().lines().count(), 1);
+    }
+
+    /// A starved replica completes zero requests with a zero makespan; the
+    /// report must render `n/a` slots, not NaN or 0/0 artifacts.
+    #[test]
+    fn zero_request_run_renders_na_without_nan() {
+        let r = RunReport {
+            scheduler: "TD-Pipe".into(),
+            makespan: 0.0,
+            num_requests: 0,
+            input_tokens: 0,
+            output_tokens: 0,
+            recomputed_tokens: 0,
+            swapped_tokens: 0,
+            phase_switches: 0,
+            mean_utilization: 0.0,
+            latency: None,
+        };
+        assert_eq!(r.throughput_total(), 0.0);
+        assert_eq!(r.recompute_overhead(), 0.0);
+        let s = r.to_string();
+        assert_eq!(s.lines().count(), 1, "still one line: {s}");
+        assert!(s.contains("n/a"), "{s}");
+        assert!(s.contains("0 requests"), "{s}");
+        assert!(!s.contains("NaN"), "{s}");
+        assert!(!s.contains("inf"), "{s}");
     }
 
     #[test]

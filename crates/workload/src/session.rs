@@ -256,6 +256,92 @@ impl SessionTrace {
             .collect()
     }
 
+    /// Extract the sub-workload of the given sessions (old session ids,
+    /// strictly increasing so the per-session start arrivals stay
+    /// non-decreasing), re-numbering sessions to `0..sessions.len()` and
+    /// requests into the same turn-0s-first layout
+    /// [`SessionConfig::generate`] produces. This is how a fleet router
+    /// splits one closed-loop workload across replicas: a session is an
+    /// atomic routing unit (turn *k*'s arrival depends on turn *k−1*
+    /// finishing *inside* a replica), so each replica receives a
+    /// self-contained `SessionTrace` that passes
+    /// [`Self::check_invariants`]. Selecting every session reproduces the
+    /// original workload exactly; an empty selection yields an empty
+    /// workload (a starved replica).
+    ///
+    /// # Panics
+    /// Panics if `sessions` is not strictly increasing or indexes a
+    /// session out of range.
+    pub fn subset_sessions(&self, sessions: &[u32]) -> SessionTrace {
+        assert!(
+            sessions.windows(2).all(|w| w[1] > w[0]),
+            "session subset must be strictly increasing"
+        );
+        // New session id per old id (u32::MAX = not selected).
+        let mut new_of = vec![u32::MAX; self.num_sessions];
+        for (k, &s) in sessions.iter().enumerate() {
+            assert!((s as usize) < self.num_sessions, "session {s} out of range");
+            new_of[s as usize] = k as u32;
+        }
+        // Old request indices per selected session, in turn order (the
+        // global layout already lists each session's turns in increasing
+        // turn order, so one forward pass collects them sorted).
+        let mut turn_idx: Vec<Vec<u32>> = vec![Vec::new(); sessions.len()];
+        for (i, t) in self.turns.iter().enumerate() {
+            let n = new_of[t.session as usize];
+            if n != u32::MAX {
+                turn_idx[n as usize].push(i as u32);
+            }
+        }
+        let reqs = self.trace.requests();
+        let mut requests = Vec::new();
+        let mut turns = Vec::new();
+        let mut start_arrivals = Vec::new();
+        let mut first_idx = vec![0u32; sessions.len()];
+        for (k, idxs) in turn_idx.iter().enumerate() {
+            first_idx[k] = requests.len() as u32;
+            requests.push(reqs[idxs[0] as usize].clone());
+            start_arrivals.push(self.start_arrivals[sessions[k] as usize]);
+            turns.push(SessionTurn {
+                session: k as u32,
+                turn: 0,
+                shared_prefix: 0,
+                think_s: 0.0,
+                prev: None,
+                next: None,
+            });
+        }
+        for (k, idxs) in turn_idx.iter().enumerate() {
+            let mut prev = first_idx[k];
+            for &i in &idxs[1..] {
+                let old = &self.turns[i as usize];
+                let idx = requests.len() as u32;
+                requests.push(reqs[i as usize].clone());
+                turns.push(SessionTurn {
+                    session: k as u32,
+                    turn: old.turn,
+                    shared_prefix: old.shared_prefix,
+                    think_s: old.think_s,
+                    prev: Some(prev),
+                    next: None,
+                });
+                turns[prev as usize].next = Some(idx);
+                prev = idx;
+            }
+        }
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.id = RequestId(i as u64);
+        }
+        let st = SessionTrace {
+            trace: Trace::new(requests),
+            turns,
+            start_arrivals,
+            num_sessions: sessions.len(),
+        };
+        st.check_invariants();
+        st
+    }
+
     /// Structural invariants the engine's reuse path relies on; panics on
     /// violation (generator bugs, hand-built traces).
     pub fn check_invariants(&self) {
@@ -337,6 +423,46 @@ mod tests {
                 assert!(a.is_infinite(), "resumed turns start unreleased");
             }
         }
+    }
+
+    #[test]
+    fn subset_of_every_session_is_the_identity() {
+        let st = SessionConfig::small(60, 11).generate();
+        let all: Vec<u32> = (0..st.num_sessions as u32).collect();
+        assert_eq!(st.subset_sessions(&all), st);
+    }
+
+    #[test]
+    fn subset_partitions_turns_and_preserves_linkage() {
+        let st = SessionConfig::small(80, 12).generate();
+        let evens: Vec<u32> = (0..st.num_sessions as u32).filter(|s| s % 2 == 0).collect();
+        let odds: Vec<u32> = (0..st.num_sessions as u32).filter(|s| s % 2 == 1).collect();
+        let a = st.subset_sessions(&evens);
+        let b = st.subset_sessions(&odds);
+        assert_eq!(a.len() + b.len(), st.len(), "every turn lands exactly once");
+        assert_eq!(a.num_sessions + b.num_sessions, st.num_sessions);
+        // check_invariants already ran inside subset_sessions; spot-check
+        // that per-session turn content survived the renumbering.
+        let first_even = st
+            .turns
+            .iter()
+            .position(|t| t.session == 0 && t.turn == 1)
+            .map(|i| st.trace.requests()[i].input_len);
+        let first_in_a = a
+            .turns
+            .iter()
+            .position(|t| t.session == 0 && t.turn == 1)
+            .map(|i| a.trace.requests()[i].input_len);
+        assert_eq!(first_even, first_in_a, "session 0 is evens[0]");
+    }
+
+    #[test]
+    fn empty_subset_is_an_empty_workload() {
+        let st = SessionConfig::small(10, 13).generate();
+        let empty = st.subset_sessions(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.num_sessions, 0);
+        assert!(empty.initial_arrivals().is_empty());
     }
 
     #[test]

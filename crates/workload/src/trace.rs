@@ -86,6 +86,28 @@ impl Trace {
         Trace::new(requests)
     }
 
+    /// Select requests by index, in the given order, re-numbering ids to
+    /// `0..indices.len()` so the result is a self-contained trace — what a
+    /// fleet router hands each replica. The same index order fed back with
+    /// the full index set reproduces the original trace byte-for-byte
+    /// (ids are already `0..len` for generated traces).
+    ///
+    /// # Panics
+    /// Panics if some index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Trace {
+        Trace::new(
+            indices
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| {
+                    let mut r = self.requests[i].clone();
+                    r.id = crate::request::RequestId(k as u64);
+                    r
+                })
+                .collect(),
+        )
+    }
+
     /// Keep only requests satisfying `keep` (ids preserved).
     pub fn filter<F: FnMut(&Request) -> bool>(&self, mut keep: F) -> Trace {
         Trace::new(
@@ -155,6 +177,23 @@ mod tests {
         // Ratios approximately 60/20/20.
         assert!((s.train.len() as f64 / 997.0 - 0.6).abs() < 0.01);
         assert!((s.test.len() as f64 / 997.0 - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn subset_renumbers_and_identity_subset_is_bytes_equal() {
+        let t = trace(20);
+        let odd: Vec<usize> = (0..20).filter(|i| i % 2 == 1).collect();
+        let s = t.subset(&odd);
+        assert_eq!(s.len(), 10);
+        let ids: Vec<u64> = s.requests().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+        for (k, &i) in odd.iter().enumerate() {
+            assert_eq!(s.requests()[k].input_len, t.requests()[i].input_len);
+            assert_eq!(s.requests()[k].output_len, t.requests()[i].output_len);
+        }
+        // The full index set reproduces the original trace exactly.
+        let all: Vec<usize> = (0..20).collect();
+        assert_eq!(t.subset(&all), t);
     }
 
     #[test]

@@ -24,7 +24,13 @@
 #      identical metered session runs must metrics-diff clean against
 #      each other (the online path is deterministic and the diff tool
 #      understands the session counters).
-#   8. perf-trajectory smoke: a quick (200-request, 1-rep, no scale
+#   8. fleet smoke: a 2-replica heterogeneous (l20+a100) routed run
+#      through the CLI with per-replica Chrome-trace exports (both must
+#      pass the schema validator), and two identical metered fleet runs
+#      that must metrics-diff clean against each other (the fleet router,
+#      parallel replica execution, and replica-labelled metrics merge are
+#      all deterministic).
+#   9. perf-trajectory smoke: a quick (200-request, 1-rep, no scale
 #      cells) perf_trajectory run into a temp file, schema-validated with
 #      `perf_trajectory --check`, plus the same check against the
 #      committed BENCH_hotpath.json. Catches harness bitrot and
@@ -84,6 +90,25 @@ target/release/tdpipe-cli metrics-diff \
   --baseline "$trace_tmp/sessions.a.metrics.json" \
   --current "$trace_tmp/sessions.b.metrics.json"
 
+step "fleet smoke (heterogeneous routed run, traced + deterministic metrics)"
+target/release/tdpipe-cli run --requests 120 \
+  --arrival poisson --rate 16 \
+  --pool l20:1,a100:1 --router kv \
+  --trace-out "$trace_tmp/fleet.trace.json"
+target/release/tdpipe-cli validate-trace --file "$trace_tmp/fleet.trace.json.r0"
+target/release/tdpipe-cli validate-trace --file "$trace_tmp/fleet.trace.json.r1"
+target/release/tdpipe-cli run --requests 120 \
+  --arrival poisson --rate 16 \
+  --pool l20:1,a100:1 --router kv \
+  --metrics-out "$trace_tmp/fleet.a.metrics.json"
+target/release/tdpipe-cli run --requests 120 \
+  --arrival poisson --rate 16 \
+  --pool l20:1,a100:1 --router kv \
+  --metrics-out "$trace_tmp/fleet.b.metrics.json"
+target/release/tdpipe-cli metrics-diff \
+  --baseline "$trace_tmp/fleet.a.metrics.json" \
+  --current "$trace_tmp/fleet.b.metrics.json"
+
 step "perf-trajectory smoke (quick run + schema check)"
 TDPIPE_REQUESTS=200 TDPIPE_PERF_REPS=1 TDPIPE_PERF_SCALE=0 \
   TDPIPE_BENCH_OUT="$trace_tmp/hotpath.json" \
@@ -91,4 +116,4 @@ TDPIPE_REQUESTS=200 TDPIPE_PERF_REPS=1 TDPIPE_PERF_SCALE=0 \
 target/release/perf_trajectory --check "$trace_tmp/hotpath.json"
 target/release/perf_trajectory --check BENCH_hotpath.json
 
-printf '\nci OK: build + tests + smoke + trace export + metrics gate + sessions smoke + perf smoke all green\n'
+printf '\nci OK: build + tests + smoke + trace export + metrics gate + sessions smoke + fleet smoke + perf smoke all green\n'

@@ -20,6 +20,10 @@ use std::process::ExitCode;
 use tdpipe::baselines::{PpHbEngine, PpSbEngine, TpHbEngine, TpSbEngine};
 use tdpipe::core::config::EngineConfig;
 use tdpipe::core::{TdPipeConfig, TdPipeEngine};
+use tdpipe::fleet::{
+    parse_pool, run_fleet, FleetConfig, FleetOutcome, FleetWorkload, Replica, ReplicaSpec,
+    RouterConfig, RouterPolicy, SloSpec,
+};
 use tdpipe::hw::NodeSpec;
 use tdpipe::metrics::{default_rules, diff_snapshots, to_prom, MetricsSnapshot};
 use tdpipe::model::ModelSpec;
@@ -40,6 +44,12 @@ USAGE:
                    [--arrival offline|poisson|waves|diurnal|bursty] [--rate R]
                    [--sessions N] [--reuse on|off]
                                         (closed-loop multi-turn serving, td only)
+                   [--replicas N] [--pool l20:2,a100:2]
+                   [--router rr|jsq|kv|affine] [--slo-ttft S]
+                                        (fleet mode: route the workload across a
+                                         replica pool, td only; --pool overrides
+                                         --replicas/--node; trace export writes
+                                         one PATH.rI file per replica)
                    [--trace-out PATH]   (td only: Chrome-trace JSON export)
                    [--metrics-out PATH] (metrics snapshot, JSON)
                    [--prom-out PATH]    (metrics snapshot, Prometheus text)
@@ -54,6 +64,7 @@ USAGE:
 
 Defaults: --model 13b --node l20 --gpus 4 --scheduler td --requests 1000
           --seed 42 --predictor oracle --arrival offline --rate 8 --reuse on
+          --router jsq --slo-ttft 10
 ";
 
 struct Args(BTreeMap<String, String>);
@@ -102,7 +113,17 @@ impl Args {
 
 /// Arrival-process lookup for `run --arrival`. The non-rate shape
 /// parameters are fixed, reasonable defaults; `--rate` scales the load.
+///
+/// Rejects a non-positive or non-finite rate for every rate-driven
+/// process up front: the samplers would otherwise assert deep inside
+/// `sample()` (or, for `waves`, silently ignore the bogus value), which
+/// surfaces as a panic instead of a usable CLI error.
 fn arrival_of(kind: &str, rate: f64, seed: u64) -> Result<ArrivalProcess, String> {
+    if kind != "offline" && kind != "waves" && !(rate.is_finite() && rate > 0.0) {
+        return Err(format!(
+            "--rate: need a positive finite arrival rate for --arrival {kind}, got '{rate}'"
+        ));
+    }
     Ok(match kind {
         "offline" => ArrivalProcess::Offline,
         "poisson" => ArrivalProcess::Poisson {
@@ -288,6 +309,97 @@ fn run_td_instrumented(
         .run(trace, predictor))
 }
 
+/// `run --replicas/--pool/--router`: route one workload across a replica
+/// pool with the seeded fleet router and aggregate a cluster report.
+#[allow(clippy::too_many_arguments)]
+fn run_fleet_cmd(
+    pool_spec: &str,
+    gpus: u32,
+    router: &str,
+    slo_ttft: f64,
+    model: &ModelSpec,
+    seed: u64,
+    workload: &FleetWorkload<'_>,
+    predictor: &(dyn OutputLenPredictor + Sync),
+    want_metrics: bool,
+    reuse: bool,
+    trace_out: Option<&str>,
+) -> Result<FleetOutcome, String> {
+    let policy = RouterPolicy::parse(router)?;
+    let engine = EngineConfig {
+        record_metrics: want_metrics,
+        record_trace: trace_out.is_some(),
+        record_timeline: trace_out.is_some(),
+        session_reuse: reuse,
+        ..EngineConfig::default()
+    };
+    let replicas: Vec<Replica> = parse_pool(pool_spec, gpus)?
+        .into_iter()
+        .map(|(label, node)| {
+            Replica::new(ReplicaSpec::new(
+                &label,
+                model.clone(),
+                node,
+                TdPipeConfig {
+                    engine: engine.clone(),
+                    ..TdPipeConfig::default()
+                },
+            ))
+            .map_err(|e| format!("replica {label}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let cfg = FleetConfig {
+        router: RouterConfig {
+            policy,
+            seed: seed ^ 0xF1EE7,
+            ..RouterConfig::default()
+        },
+        slo: SloSpec { ttft_s: slo_ttft },
+    };
+    let outcome = run_fleet(&replicas, workload, &cfg, predictor);
+    if let Some(path) = trace_out {
+        for (i, out) in outcome.outcomes.iter().enumerate() {
+            let p = format!("{path}.r{i}");
+            std::fs::write(&p, chrome_trace(&out.timeline, &out.journal))
+                .map_err(|e| format!("--trace-out {p}: {e}"))?;
+        }
+        println!(
+            "trace: {} per-replica Chrome traces -> {path}.r0..r{}",
+            outcome.outcomes.len(),
+            outcome.outcomes.len() - 1
+        );
+    }
+    Ok(outcome)
+}
+
+/// Write the metrics snapshot to `--metrics-out` (JSON) and/or
+/// `--prom-out` (Prometheus text), shared by the single-engine and fleet
+/// run paths.
+fn write_metrics_outputs(
+    metrics: &MetricsSnapshot,
+    metrics_out: Option<&str>,
+    prom_out: Option<&str>,
+) -> Result<(), String> {
+    if let Some(path) = metrics_out {
+        let json = serde_json::to_string(metrics).map_err(|e| e.to_string())?;
+        std::fs::write(path, &json).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        println!(
+            "metrics: {} metrics + {} series -> {path}",
+            metrics.metrics.len(),
+            metrics.series.len()
+        );
+    }
+    if let Some(path) = prom_out {
+        std::fs::write(path, to_prom(metrics)).map_err(|e| format!("--prom-out {path}: {e}"))?;
+        println!("prom: {} metric families -> {path}", {
+            let mut names: Vec<&str> = metrics.metrics.iter().map(|m| m.name.as_str()).collect();
+            names.dedup();
+            names.len()
+        });
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match real_main(&argv) {
@@ -325,7 +437,10 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
                 }
                 other => return Err(format!("unknown predictor '{other}'")),
             };
-            let predictor: &dyn OutputLenPredictor = match &trained {
+            // `+ Sync` so the fleet path can fan replicas out across
+            // threads; it coerces to plain `&dyn OutputLenPredictor` at
+            // every single-engine call site.
+            let predictor: &(dyn OutputLenPredictor + Sync) = match &trained {
                 Some(p) => p,
                 None => &OraclePredictor,
             };
@@ -336,6 +451,88 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
             let arrival_kind = args.get("arrival", "offline");
             let rate = args.f64("rate", 8.0)?;
             let arrival = arrival_of(&arrival_kind, rate, seed ^ 0xA881)?;
+            let fleet_mode = ["replicas", "pool", "router"]
+                .iter()
+                .any(|k| args.opt(k).is_some());
+            if fleet_mode {
+                if scheduler != "td" {
+                    return Err(format!(
+                        "fleet mode runs the TD-Pipe scheduler only (got --scheduler {scheduler})"
+                    ));
+                }
+                let num_replicas = args.usize("replicas", 2)?;
+                if num_replicas == 0 {
+                    return Err("--replicas: need at least one replica".into());
+                }
+                let node_name = args.get("node", "l20");
+                let pool_spec = args.get("pool", &format!("{node_name}:{num_replicas}"));
+                let router = args.get("router", "jsq");
+                let slo_ttft = args.f64("slo-ttft", 10.0)?;
+                let trace_out = args.opt("trace-out");
+                let outcome = if let Some(ns) = args.opt("sessions") {
+                    let num_sessions: usize = ns
+                        .parse()
+                        .map_err(|_| format!("--sessions: bad number '{ns}'"))?;
+                    let reuse = match args.get("reuse", "on").as_str() {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(format!("--reuse: 'on' or 'off', got '{other}'")),
+                    };
+                    let mut sc = SessionConfig::small(num_sessions, seed);
+                    sc.arrival = arrival;
+                    let sessions = sc.generate();
+                    let outcome = run_fleet_cmd(
+                        &pool_spec,
+                        gpus,
+                        &router,
+                        slo_ttft,
+                        &model,
+                        seed,
+                        &FleetWorkload::Sessions(&sessions),
+                        predictor,
+                        want_metrics,
+                        reuse,
+                        trace_out,
+                    )?;
+                    println!(
+                        "sessions: {} sessions -> {} turns across {} replicas",
+                        sessions.num_sessions,
+                        sessions.len(),
+                        outcome.report.num_replicas
+                    );
+                    outcome
+                } else {
+                    let arrivals = match arrival {
+                        ArrivalProcess::Offline => Vec::new(),
+                        p => p.sample(trace.len()),
+                    };
+                    run_fleet_cmd(
+                        &pool_spec,
+                        gpus,
+                        &router,
+                        slo_ttft,
+                        &model,
+                        seed,
+                        &FleetWorkload::Requests {
+                            trace: &trace,
+                            arrivals: &arrivals,
+                        },
+                        predictor,
+                        want_metrics,
+                        true,
+                        trace_out,
+                    )?
+                };
+                let metrics = match &trained {
+                    Some(p) if want_metrics => outcome
+                        .metrics
+                        .merged(ConfusionMatrix::compute(p, &trace).to_metrics()),
+                    _ => outcome.metrics,
+                };
+                print!("{}", outcome.report);
+                write_metrics_outputs(&metrics, metrics_out, prom_out)?;
+                return Ok(ExitCode::SUCCESS);
+            }
             let (report, metrics) = if let Some(ns) = args.opt("sessions") {
                 if scheduler != "td" {
                     return Err(format!(
@@ -407,25 +604,7 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
                     l.ttft_mean, l.ttft_p99, l.completion_p50, l.completion_p99
                 );
             }
-            if let Some(path) = metrics_out {
-                let json = serde_json::to_string(&metrics).map_err(|e| e.to_string())?;
-                std::fs::write(path, &json).map_err(|e| format!("--metrics-out {path}: {e}"))?;
-                println!(
-                    "metrics: {} metrics + {} series -> {path}",
-                    metrics.metrics.len(),
-                    metrics.series.len()
-                );
-            }
-            if let Some(path) = prom_out {
-                std::fs::write(path, to_prom(&metrics))
-                    .map_err(|e| format!("--prom-out {path}: {e}"))?;
-                println!("prom: {} metric families -> {path}", {
-                    let mut names: Vec<&str> =
-                        metrics.metrics.iter().map(|m| m.name.as_str()).collect();
-                    names.dedup();
-                    names.len()
-                });
-            }
+            write_metrics_outputs(&metrics, metrics_out, prom_out)?;
         }
         "plan" => {
             use tdpipe::core::MemoryPlan;
@@ -621,6 +800,89 @@ mod tests {
             assert!(a.windows(2).all(|w| w[1] >= w[0]), "{kind} sorted");
         }
         assert!(arrival_of("lunar", 5.0, 7).is_err());
+    }
+
+    /// Regression test for the `--rate` validation satellite: a zero,
+    /// negative, or NaN rate must come back as a clean CLI error (not an
+    /// assert deep inside the sampler), both at the flag-parsing layer and
+    /// at `arrival_of` itself (which callers can reach programmatically).
+    #[test]
+    fn degenerate_rates_are_rejected_with_a_clean_error() {
+        for bad in ["0", "-1", "NaN", "inf", "-0.0"] {
+            let argv = args(&format!(
+                "run --requests 8 --arrival poisson --rate {bad}"
+            ));
+            let err = real_main(&argv).unwrap_err();
+            assert!(err.contains("--rate"), "--rate {bad}: {err}");
+        }
+        for kind in ["poisson", "diurnal", "bursty"] {
+            for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+                let err = arrival_of(kind, bad, 7).unwrap_err();
+                assert!(err.contains("--rate"), "{kind} {bad}: {err}");
+            }
+        }
+        // Rate-free kinds stay usable whatever the (ignored) rate value.
+        assert!(arrival_of("offline", 0.0, 7).is_ok());
+        assert!(arrival_of("waves", -1.0, 7).is_ok());
+    }
+
+    #[test]
+    fn fleet_run_routes_and_aggregates_across_a_mixed_pool() {
+        let trace = ShareGptLikeConfig::small(48, 5).generate();
+        let model = model_of("13b").unwrap();
+        let arrivals = arrival_of("poisson", 8.0, 5).unwrap().sample(trace.len());
+        let outcome = run_fleet_cmd(
+            "l20:1,a100:1",
+            2,
+            "jsq",
+            10.0,
+            &model,
+            5,
+            &FleetWorkload::Requests {
+                trace: &trace,
+                arrivals: &arrivals,
+            },
+            &OraclePredictor,
+            true,
+            true,
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.report.num_requests, trace.len());
+        assert_eq!(outcome.report.num_replicas, 2);
+        assert_eq!(outcome.report.policy, "jsq");
+        assert!(outcome.metrics.scalar("fleet_requests_total").is_some());
+        // Bad router/pool specs surface as clean CLI errors.
+        let bad = |pool: &str, router: &str| {
+            run_fleet_cmd(
+                pool,
+                2,
+                router,
+                10.0,
+                &model,
+                5,
+                &FleetWorkload::Requests {
+                    trace: &trace,
+                    arrivals: &[],
+                },
+                &OraclePredictor,
+                false,
+                true,
+                None,
+            )
+            .unwrap_err()
+        };
+        assert!(bad("l20:1", "p2c").contains("router"));
+        assert!(bad("h100:1", "jsq").contains("--pool"));
+    }
+
+    #[test]
+    fn fleet_flags_are_validated_in_real_main() {
+        let err = real_main(&args("run --requests 8 --replicas 0")).unwrap_err();
+        assert!(err.contains("--replicas"), "{err}");
+        let err =
+            real_main(&args("run --requests 8 --replicas 2 --scheduler tp-sb")).unwrap_err();
+        assert!(err.contains("TD-Pipe scheduler only"), "{err}");
     }
 
     #[test]

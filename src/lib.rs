@@ -18,11 +18,13 @@
 //! * [`baselines`] — TP+SB, TP+HB, PP+SB, PP+HB reference schedulers
 //! * [`offload`] — KV-offloading engine + PCIe contention model (§2.2.2)
 //! * [`trace`] — scheduling flight recorder + Chrome-trace export
+//! * [`fleet`] — deterministic request/session routing across replicas
 
 #![forbid(unsafe_code)]
 
 pub use tdpipe_baselines as baselines;
 pub use tdpipe_core as core;
+pub use tdpipe_fleet as fleet;
 pub use tdpipe_hw as hw;
 pub use tdpipe_kvcache as kvcache;
 pub use tdpipe_metrics as metrics;

@@ -278,6 +278,176 @@ fn session_knobs_leave_offline_runs_bit_identical() {
     assert_eq!(base, run(true, 1.0));
 }
 
+/// Fleet golden gate: under every router policy, a heterogeneous
+/// L20+A100 fleet must serialize its aggregated `FleetReport`
+/// byte-identically run-over-run, and the parallel execution path must
+/// reproduce the serial bytes at every thread count (the same contract
+/// the bench sweeps carry, one level up).
+#[test]
+fn fleet_reports_serialize_bit_identically_across_policies_and_threads() {
+    use tdpipe::fleet::{
+        parse_pool, run_fleet_serial, run_fleet_with_threads, FleetConfig, FleetWorkload, Replica,
+        ReplicaSpec, RouterConfig, RouterPolicy,
+    };
+    use tdpipe::workload::ArrivalProcess;
+
+    let trace = ShareGptLikeConfig::small(96, 5).generate();
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_s: 12.0,
+        seed: 17,
+    }
+    .sample(trace.len());
+    let workload = FleetWorkload::Requests {
+        trace: &trace,
+        arrivals: &arrivals,
+    };
+    let replicas: Vec<Replica> = parse_pool("l20:2,a100:1", 2)
+        .unwrap()
+        .into_iter()
+        .map(|(label, node)| {
+            Replica::new(ReplicaSpec::td(&label, ModelSpec::llama2_13b(), node)).unwrap()
+        })
+        .collect();
+
+    for policy in RouterPolicy::ALL {
+        let cfg = FleetConfig {
+            router: RouterConfig {
+                policy,
+                seed: 42,
+                ..RouterConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let golden = serde_json::to_string(
+            &run_fleet_serial(&replicas, &workload, &cfg, &OraclePredictor).report,
+        )
+        .expect("serialize fleet report");
+        let again = serde_json::to_string(
+            &run_fleet_serial(&replicas, &workload, &cfg, &OraclePredictor).report,
+        )
+        .unwrap();
+        assert_eq!(again, golden, "{} serial rerun differs", policy.name());
+        for threads in [2, 3, 8] {
+            let got = serde_json::to_string(
+                &run_fleet_with_threads(&replicas, &workload, &cfg, &OraclePredictor, threads)
+                    .report,
+            )
+            .unwrap();
+            assert_eq!(
+                got,
+                golden,
+                "{} {threads}-thread fleet differs",
+                policy.name()
+            );
+        }
+    }
+}
+
+/// The closed-loop variant of the fleet gate: whole sessions route
+/// atomically, and the aggregated report (plus the replica-labelled
+/// metrics merge) is byte-identical serial vs parallel.
+#[test]
+fn session_fleet_is_bit_identical_serial_vs_parallel() {
+    use tdpipe::fleet::{
+        parse_pool, run_fleet_serial, run_fleet_with_threads, FleetConfig, FleetWorkload, Replica,
+        ReplicaSpec, RouterConfig, RouterPolicy,
+    };
+    use tdpipe::workload::SessionConfig;
+
+    let sessions = SessionConfig::small(48, 19).generate();
+    let workload = FleetWorkload::Sessions(&sessions);
+    let mut cfg = TdPipeConfig::default();
+    cfg.engine.record_metrics = true;
+    let replicas: Vec<Replica> = parse_pool("l20:1,a100:1", 2)
+        .unwrap()
+        .into_iter()
+        .map(|(label, node)| {
+            Replica::new(ReplicaSpec::new(
+                &label,
+                ModelSpec::llama2_13b(),
+                node,
+                cfg.clone(),
+            ))
+            .unwrap()
+        })
+        .collect();
+    let fleet_cfg = FleetConfig {
+        router: RouterConfig {
+            policy: RouterPolicy::SessionAffine,
+            seed: 7,
+            ..RouterConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let serial = run_fleet_serial(&replicas, &workload, &fleet_cfg, &OraclePredictor);
+    assert_eq!(serial.report.num_requests, sessions.len());
+    for threads in [2, 8] {
+        let parallel =
+            run_fleet_with_threads(&replicas, &workload, &fleet_cfg, &OraclePredictor, threads);
+        assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&parallel.report).unwrap(),
+            "{threads}-thread session fleet differs"
+        );
+        assert_eq!(
+            serde_json::to_string(&serial.metrics).unwrap(),
+            serde_json::to_string(&parallel.metrics).unwrap(),
+            "{threads}-thread merged metrics differ"
+        );
+    }
+}
+
+/// A one-replica fleet is the degenerate cluster: whatever the policy,
+/// the engine outcome must be bit-identical to calling the engine
+/// directly — the router and aggregation layers add nothing.
+#[test]
+fn single_replica_fleet_is_bit_identical_to_direct_engine_run() {
+    use tdpipe::fleet::{
+        run_fleet_serial, FleetConfig, FleetWorkload, Replica, ReplicaSpec, RouterConfig,
+        RouterPolicy,
+    };
+
+    let trace = ShareGptLikeConfig::small(80, 23).generate();
+    let replica = Replica::new(ReplicaSpec::td(
+        "solo",
+        ModelSpec::llama2_13b(),
+        NodeSpec::l20(2),
+    ))
+    .unwrap();
+    let direct = TdPipeEngine::new(
+        ModelSpec::llama2_13b(),
+        &NodeSpec::l20(2),
+        TdPipeConfig::default(),
+    )
+    .unwrap()
+    .run(&trace, &OraclePredictor);
+    let direct_bytes = serde_json::to_string(&direct.report).unwrap();
+    for policy in RouterPolicy::ALL {
+        let cfg = FleetConfig {
+            router: RouterConfig {
+                policy,
+                ..RouterConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let fleet = run_fleet_serial(
+            std::slice::from_ref(&replica),
+            &FleetWorkload::Requests {
+                trace: &trace,
+                arrivals: &[],
+            },
+            &cfg,
+            &OraclePredictor,
+        );
+        assert_eq!(
+            serde_json::to_string(&fleet.outcomes[0].report).unwrap(),
+            direct_bytes,
+            "policy {} perturbed a single-replica run",
+            policy.name()
+        );
+    }
+}
+
 #[test]
 fn different_workload_seeds_change_results() {
     let engine = TdPipeEngine::new(
@@ -350,6 +520,12 @@ fn determinism_rule_set_covers_every_report_feeding_crate() {
         "metrics snapshots are byte-compared across runs and diffed \
          against a committed baseline — the registry must stay under \
          the determinism set"
+    );
+    assert!(
+        covered.contains(&"crates/fleet/src"),
+        "fleet reports are byte-compared serial-vs-parallel and across \
+         thread counts — the router and aggregation must stay under the \
+         determinism set"
     );
 
     // Exempt: `runtime` really runs threads and timeouts (wall-clock use
