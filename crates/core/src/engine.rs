@@ -163,6 +163,17 @@ fn release_finished(
     est_cache: &mut PrefillEstimateCache,
     journal: &mut FlightRecorder,
 ) -> u64 {
+    // The lifecycle terminator: with arrival and first-token stamps
+    // copied in, a journal alone reconstructs every latency component
+    // (the span layer never needs the request pool).
+    journal.record(
+        now,
+        TraceEvent::RequestFinish {
+            request: pool.id(m).0,
+            arrival: pool.arrival(m),
+            first_token: pool.first_token_at(m),
+        },
+    );
     let Some(s) = sess.as_mut() else {
         // analyzer: allow(no-expect) — every batch member was allocated at
         // admission and eviction removes it from its batch, so a finisher
@@ -468,7 +479,9 @@ impl TdPipeEngine {
         // per `record` call, so default runs stay bit-identical. Sized for
         // one admit + stop per request plus slack for phase machinery.
         let mut journal = if e.record_trace {
-            FlightRecorder::with_capacity(pool.len() * 4 + 64)
+            // Admit + stop + launch + done + finish per request, plus
+            // slack for phase machinery and recompute episodes.
+            FlightRecorder::with_capacity(pool.len() * 8 + 64)
         } else {
             FlightRecorder::disabled()
         };
@@ -765,6 +778,18 @@ impl TdPipeEngine {
                     SegmentKind::Prefill,
                     PREFILL_TAG + prefill_seq,
                 );
+                // Span anchor: records the packing clock, carries the
+                // executor-ready instant (the two differ by the serialised
+                // launch overhead — the per-request prefill-wait span).
+                journal.record(
+                    now,
+                    TraceEvent::PrefillLaunch {
+                        seq: prefill_seq,
+                        batch: batch.len(),
+                        tokens: batch_tokens as u64,
+                        ready,
+                    },
+                );
                 metrics.on_prefill_batch(batch.len(), batch_tokens as u64);
                 let start = prefill_members.len();
                 prefill_members.extend_from_slice(&batch);
@@ -809,11 +834,22 @@ impl TdPipeEngine {
             // Collect this phase's prefill completions: first-token stamps
             // and Fig. 12 occupancy samples.
             let mut prefill_exec_end = now;
+            // Completion stamps are monotone (the pipeline retires jobs in
+            // launch order); `done_t` guards the journal's time order
+            // against any float jitter in the completion times.
+            let mut done_t = now;
             for &(start, end, occ) in prefill_meta.iter() {
                 let (tag, finish) = sim.try_next_completion()?;
                 debug_assert!(tag > PREFILL_TAG, "prefills complete before decodes");
+                done_t = done_t.max(finish);
                 for &idx in &prefill_members[start..end] {
                     pool.note_first_token(idx, finish);
+                    journal.record(
+                        done_t,
+                        TraceEvent::PrefillDone {
+                            request: pool.id(idx).0,
+                        },
+                    );
                 }
                 if e.record_occupancy {
                     occupancy.push(finish, occ, Phase::Prefill);
@@ -848,6 +884,14 @@ impl TdPipeEngine {
                     pending.len(),
                     pool.finished(),
                     pool.len()
+                );
+                // Declared starvation: the bubble ledger attributes every
+                // device's idleness over [now, next_arrival] to arrivals.
+                journal.record(
+                    now,
+                    TraceEvent::ArrivalWait {
+                        until: next_arrival,
+                    },
                 );
                 now = next_arrival;
                 phases.pop(); // drop the empty prefill phase record
@@ -1316,7 +1360,10 @@ impl TdPipeEngine {
         let (makespan, timeline) = sim.try_finish()?;
         // Device tracks for the Chrome export (only materialise when the
         // executor kept segments, i.e. `record_timeline` was on too).
-        journal.append_stage_events(&timeline);
+        // Bounded: boundary idleness (pipeline warm-up before a device's
+        // first segment, drain after its last) becomes explicit StageIdle
+        // events, so attributed bubble seconds close against the makespan.
+        journal.append_stage_events_bounded(&timeline, makespan);
         let report = RunReport {
             scheduler: "TD-Pipe".into(),
             makespan,

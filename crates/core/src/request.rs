@@ -288,6 +288,20 @@ impl RequestArena {
         }
     }
 
+    /// Virtual time request `idx`'s first output token appeared (NaN
+    /// until its first prefill completes).
+    #[inline]
+    pub fn first_token_at(&self, idx: usize) -> f64 {
+        self.first_token_at[idx]
+    }
+
+    /// Virtual time request `idx` produced its last output token (NaN
+    /// until it finishes).
+    #[inline]
+    pub fn finished_at(&self, idx: usize) -> f64 {
+        self.finished_at[idx]
+    }
+
     /// Record the virtual time a request's first output token appeared
     /// (the end of its prefill job). Set-once: recomputation after an
     /// eviction does not move the original first-token time.

@@ -52,6 +52,7 @@ pub fn default_rules() -> Vec<DiffRule> {
         DiffRule::new("mean_utilization", Direction::HigherIsBetter, 0.02),
         DiffRule::new("makespan", Direction::LowerIsBetter, 0.02),
         DiffRule::new("recompute_overhead", Direction::LowerIsBetter, 0.05),
+        DiffRule::new("bubble_seconds", Direction::LowerIsBetter, 0.05),
     ]
 }
 

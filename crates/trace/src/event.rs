@@ -71,6 +71,47 @@ pub enum TraceEvent {
         /// Requests admitted into the phase so far (cumulative).
         admitted: u64,
     },
+    /// A packed prefill batch was handed to the executor. Recorded at the
+    /// packing clock; `ready` is the (later) instant the executor can
+    /// actually start it, after the launch-overhead serialisation. The
+    /// `PrefillAdmit` events for the batch's members follow immediately,
+    /// so span reconstruction can associate each admit with its batch.
+    PrefillLaunch {
+        /// Launch sequence number within the run (1-based).
+        seq: u64,
+        /// Requests in the batch.
+        batch: usize,
+        /// Prefill tokens the batch computes.
+        tokens: u64,
+        /// Virtual time the executor can start the batch.
+        ready: f64,
+    },
+    /// A prefill batch completed on the last stage; one event per member,
+    /// stamped at the batch's completion time. The *first* `PrefillDone`
+    /// a request sees is its first token; a later one closes a recompute
+    /// episode after an eviction.
+    PrefillDone {
+        /// Request id.
+        request: u64,
+    },
+    /// A request produced its final token and left the system. Carries
+    /// the lifecycle anchor timestamps so a journal alone reconstructs
+    /// every latency component without the engine's request pool.
+    RequestFinish {
+        /// Request id.
+        request: u64,
+        /// Time the request entered the system.
+        arrival: f64,
+        /// Time its first output token was produced.
+        first_token: f64,
+    },
+    /// Nothing resident and nothing arrived: the engine fast-forwarded
+    /// its clock to the next arrival. The window [t, until] is declared
+    /// arrival starvation for every device.
+    ArrivalWait {
+        /// The next arrival the engine slept until.
+        until: f64,
+    },
     /// The §3.4 stealer withheld requests from a returning decode batch.
     StealWithhold {
         /// Requests withheld (moved to the resident pool).
@@ -170,6 +211,10 @@ impl TraceEvent {
         match self {
             TraceEvent::PrefillAdmit { .. } => "prefill_admit",
             TraceEvent::PrefillStop { .. } => "prefill_stop",
+            TraceEvent::PrefillLaunch { .. } => "prefill_launch",
+            TraceEvent::PrefillDone { .. } => "prefill_done",
+            TraceEvent::RequestFinish { .. } => "request_finish",
+            TraceEvent::ArrivalWait { .. } => "arrival_wait",
             TraceEvent::StealWithhold { .. } => "steal_withhold",
             TraceEvent::StealSupplement { .. } => "steal_supplement",
             TraceEvent::Evict { .. } => "evict",
@@ -273,13 +318,34 @@ impl FlightRecorder {
     /// segment recording on — with it off this records nothing. No-op
     /// when the recorder is disabled.
     pub fn append_stage_events(&mut self, timeline: &Timeline) {
+        self.append_stage_events_impl(timeline, None);
+    }
+
+    /// [`append_stage_events`](Self::append_stage_events), additionally
+    /// emitting the *boundary* idleness each device sees: a leading
+    /// `StageIdle` from t = 0 to its first segment (pipeline warm-up) and
+    /// a trailing one from its last segment to `run_end` (drain). With
+    /// boundary events included, the in-order sum of a device's idle
+    /// durations accounts for `run_end` minus its busy seconds — the
+    /// closed idle total the bubble ledger attributes cause-by-cause.
+    pub fn append_stage_events_bounded(&mut self, timeline: &Timeline, run_end: f64) {
+        self.append_stage_events_impl(timeline, Some(run_end));
+    }
+
+    fn append_stage_events_impl(&mut self, timeline: &Timeline, run_end: Option<f64>) {
         if !self.enabled {
             return;
         }
         let segs = timeline.segments();
         self.stage_events.reserve(segs.len() * 2);
         for device in 0..timeline.num_devices() as u32 {
-            let mut last_end: Option<f64> = None;
+            let mut last_end: Option<f64> = if run_end.is_some() {
+                // Bounded mode: the run starts at t = 0, so a device's
+                // pre-first-segment wait is warm-up idleness.
+                Some(0.0)
+            } else {
+                None
+            };
             for s in segs.iter().filter(|s| s.device == device) {
                 if let Some(prev) = last_end {
                     let gap = s.start - prev;
@@ -299,6 +365,15 @@ impl FlightRecorder {
                     },
                 });
                 last_end = Some(last_end.unwrap_or(s.end).max(s.end));
+            }
+            if let (Some(end), Some(prev)) = (run_end, last_end) {
+                let gap = end - prev;
+                if gap > 0.0 {
+                    self.stage_events.push(TimedEvent {
+                        t: prev,
+                        event: TraceEvent::StageIdle { device, dur: gap },
+                    });
+                }
             }
         }
     }
@@ -382,6 +457,39 @@ mod tests {
                 assert!((idle[0].t - 1.0).abs() < 1e-12);
             }
             _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn bounded_stage_events_cover_warmup_and_drain() {
+        let mut tl = Timeline::new(true);
+        tl.record(0, 0.0, 1.0, SegmentKind::Prefill, 1);
+        tl.record(1, 0.5, 1.5, SegmentKind::Prefill, 1);
+        let mut r = FlightRecorder::with_capacity(0);
+        r.append_stage_events_bounded(&tl, 2.0);
+        // Device 0: busy [0,1], drain idle [1,2].
+        // Device 1: warm-up idle [0,0.5], busy [.5,1.5], drain [1.5,2].
+        let idles: Vec<(u32, f64, f64)> = r
+            .stage_events()
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::StageIdle { device, dur } => Some((device, e.t, dur)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idles, vec![(0, 1.0, 1.0), (1, 0.0, 0.5), (1, 1.5, 0.5)]);
+        // Per device, busy + idle tile [0, run_end] exactly.
+        for device in 0..2u32 {
+            let covered: f64 = r
+                .stage_events()
+                .iter()
+                .filter_map(|e| match e.event {
+                    TraceEvent::StageBusy { device: d, dur, .. } if d == device => Some(dur),
+                    TraceEvent::StageIdle { device: d, dur } if d == device => Some(dur),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(covered, 2.0, "device {device}");
         }
     }
 

@@ -17,6 +17,9 @@ struct PhaseRow {
     admits: u64,
     admit_tokens: u64,
     last_stop: Option<PrefillStopReason>,
+    launches: usize,
+    finishes: usize,
+    arrival_waits: usize,
     withheld: usize,
     supplemented: usize,
     evict_recompute: usize,
@@ -62,13 +65,21 @@ impl PhaseRow {
                 } else {
                     format!(", {sess}")
                 };
+                let waits = if self.arrival_waits > 0 {
+                    format!(", waited {}x for arrivals", self.arrival_waits)
+                } else {
+                    String::new()
+                };
                 format!(
-                    "admitted {} ({} tok), stop: {}{sess}",
-                    self.admits, self.admit_tokens, stop
+                    "admitted {} ({} tok) in {} batches, stop: {}{waits}{sess}",
+                    self.admits, self.admit_tokens, self.launches, stop
                 )
             }
             Some(Phase::Decode) => {
                 let mut parts = Vec::new();
+                if self.finishes > 0 {
+                    parts.push(format!("finished {}", self.finishes));
+                }
                 if self.withheld > 0 || self.supplemented > 0 {
                     parts.push(format!(
                         "steal -{}/+{}",
@@ -134,6 +145,10 @@ pub fn decision_table(journal: &FlightRecorder) -> String {
                 cur.admit_tokens += tokens;
             }
             TraceEvent::PrefillStop { reason, .. } => cur.last_stop = Some(reason),
+            TraceEvent::PrefillLaunch { .. } => cur.launches += 1,
+            TraceEvent::RequestFinish { .. } => cur.finishes += 1,
+            TraceEvent::ArrivalWait { .. } => cur.arrival_waits += 1,
+            TraceEvent::PrefillDone { .. } => {}
             TraceEvent::StealWithhold { n, .. } => cur.withheld += n,
             TraceEvent::StealSupplement { n, .. } => cur.supplemented += n,
             TraceEvent::Evict { mode, .. } => match mode {
@@ -235,7 +250,7 @@ mod tests {
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3, "{t}");
         assert!(lines[1].contains("prefill"));
-        assert!(lines[1].contains("admitted 1 (100 tok), stop: Overflow"));
+        assert!(lines[1].contains("admitted 1 (100 tok) in 0 batches, stop: Overflow"));
         assert!(lines[2].contains("decode"));
         assert!(lines[2].contains("steal -2/+0"));
         assert!(lines[2].contains("0.500 vs 0.750 -> switch"));

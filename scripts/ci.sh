@@ -37,6 +37,14 @@
 #      hand-edited/truncated trajectory files; it does NOT gate on times
 #      (CI machines are too noisy — regenerate BENCH_hotpath.json
 #      deliberately with `cargo run --release --bin perf_trajectory`).
+#  10. span/bubble attribution smoke: a traced run exporting its raw
+#      journal (`--journal-out`), then `span-report` and `bubble-report`
+#      over it (plus a 2-replica fleet journal set merged under replica
+#      labels); every emitted report must pass its own `--check` schema
+#      validator, which re-verifies the exact accounting identities
+#      (span components refold to TTFT/latency, attributed bubble
+#      seconds refold bit-exactly to total StageIdle per device) and
+#      exits 1 on any malformed or tampered report.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -95,8 +103,8 @@ target/release/tdpipe-cli run --requests 120 \
   --arrival poisson --rate 16 \
   --pool l20:1,a100:1 --router kv \
   --trace-out "$trace_tmp/fleet.trace.json"
-target/release/tdpipe-cli validate-trace --file "$trace_tmp/fleet.trace.json.r0"
-target/release/tdpipe-cli validate-trace --file "$trace_tmp/fleet.trace.json.r1"
+target/release/tdpipe-cli validate-trace \
+  --file "$trace_tmp/fleet.trace.json.r0,$trace_tmp/fleet.trace.json.r1"
 target/release/tdpipe-cli run --requests 120 \
   --arrival poisson --rate 16 \
   --pool l20:1,a100:1 --router kv \
@@ -116,4 +124,37 @@ TDPIPE_REQUESTS=200 TDPIPE_PERF_REPS=1 TDPIPE_PERF_SCALE=0 \
 target/release/perf_trajectory --check "$trace_tmp/hotpath.json"
 target/release/perf_trajectory --check BENCH_hotpath.json
 
-printf '\nci OK: build + tests + smoke + trace export + metrics gate + sessions smoke + fleet smoke + perf smoke all green\n'
+step "span/bubble attribution smoke (journal -> reports -> validators)"
+target/release/tdpipe-cli run --scheduler td --requests 200 \
+  --arrival poisson --rate 24 \
+  --journal-out "$trace_tmp/run.journal.json"
+target/release/tdpipe-cli span-report \
+  --journal "$trace_tmp/run.journal.json" \
+  --out "$trace_tmp/run.spans.json" \
+  --chrome-out "$trace_tmp/run.spans.trace.json" > /dev/null
+target/release/tdpipe-cli span-report --check "$trace_tmp/run.spans.json"
+target/release/tdpipe-cli bubble-report \
+  --journal "$trace_tmp/run.journal.json" \
+  --out "$trace_tmp/run.bubbles.json" > /dev/null
+target/release/tdpipe-cli bubble-report --check "$trace_tmp/run.bubbles.json"
+target/release/tdpipe-cli validate-trace --file "$trace_tmp/run.spans.trace.json"
+# Fleet: per-replica journals merged onto one labelled timeline.
+target/release/tdpipe-cli run --requests 120 \
+  --arrival poisson --rate 16 \
+  --pool l20:1,a100:1 --router kv \
+  --journal-out "$trace_tmp/fleet.journal.json"
+target/release/tdpipe-cli trace-summary \
+  --journal "$trace_tmp/fleet.journal.json.r0,$trace_tmp/fleet.journal.json.r1" \
+  --labels l20,a100 > /dev/null
+target/release/tdpipe-cli span-report \
+  --journal "$trace_tmp/fleet.journal.json.r0,$trace_tmp/fleet.journal.json.r1" \
+  --labels l20,a100 \
+  --out "$trace_tmp/fleet.spans.json" > /dev/null
+target/release/tdpipe-cli span-report --check "$trace_tmp/fleet.spans.json"
+target/release/tdpipe-cli bubble-report \
+  --journal "$trace_tmp/fleet.journal.json.r0,$trace_tmp/fleet.journal.json.r1" \
+  --labels l20,a100 \
+  --out "$trace_tmp/fleet.bubbles.json" > /dev/null
+target/release/tdpipe-cli bubble-report --check "$trace_tmp/fleet.bubbles.json"
+
+printf '\nci OK: build + tests + smoke + trace export + metrics gate + sessions smoke + fleet smoke + perf smoke + span/bubble smoke all green\n'

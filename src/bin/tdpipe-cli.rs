@@ -9,6 +9,9 @@
 //! tdpipe-cli trace --requests 5000 --seed 42
 //! tdpipe-cli trace-summary --model 13b --requests 500
 //! tdpipe-cli validate-trace --file run.trace.json
+//! tdpipe-cli run   --scheduler td --requests 500 --journal-out run.journal.json
+//! tdpipe-cli span-report   --journal run.journal.json --out spans.json
+//! tdpipe-cli bubble-report --journal run.journal.json.r0,run.journal.json.r1
 //! tdpipe-cli sweep --model 13b --node l20 --requests 1000
 //! ```
 //!
@@ -31,7 +34,11 @@ use tdpipe::predictor::classifier::TrainConfig;
 use tdpipe::predictor::eval::ConfusionMatrix;
 use tdpipe::predictor::{LengthPredictor, OraclePredictor, OutputLenPredictor};
 use tdpipe::sim::RunReport;
-use tdpipe::trace::{chrome_trace, decision_table, validate_chrome_trace};
+use tdpipe::spans::{
+    analyze, bubble_report_json, bubble_table, span_chrome_trace, span_metrics, span_report_json,
+    span_table, validate_bubble_report, validate_span_report,
+};
+use tdpipe::trace::{chrome_trace, decision_table, validate_chrome_trace, FlightRecorder};
 use tdpipe::workload::{ArrivalProcess, SessionConfig, ShareGptLikeConfig, Trace, TraceStats};
 
 const USAGE: &str = "\
@@ -51,15 +58,28 @@ USAGE:
                                          --replicas/--node; trace export writes
                                          one PATH.rI file per replica)
                    [--trace-out PATH]   (td only: Chrome-trace JSON export)
+                   [--journal-out PATH] (td only: raw flight-recorder journal,
+                                         JSON; fleet mode writes PATH.rI per
+                                         replica — feed these to span-report /
+                                         bubble-report)
                    [--metrics-out PATH] (metrics snapshot, JSON)
                    [--prom-out PATH]    (metrics snapshot, Prometheus text)
   tdpipe-cli metrics-diff --baseline PATH --current PATH [--threshold T]
                    (exit 1 when a gated metric regressed beyond tolerance)
+  tdpipe-cli span-report   --journal PATH[,PATH...] [--labels L0,L1,...]
+                           [--out PATH] [--chrome-out PATH]
+                         | --check PATH  (validate a report; exit 1 on malformed)
+  tdpipe-cli bubble-report --journal PATH[,PATH...] [--labels L0,L1,...]
+                           [--out PATH]
+                         | --check PATH  (validate a report; exit 1 on malformed)
   tdpipe-cli plan  [--model ...] [--node ...] [--gpus N]
   tdpipe-cli trace [--requests N] [--seed S]
   tdpipe-cli trace-summary  [--model ...] [--node ...] [--gpus N]
                             [--requests N] [--seed S]
-  tdpipe-cli validate-trace --file PATH
+                            [--journal PATH[,PATH...]] [--labels L0,L1,...]
+                                        (summarize saved journals — one decision
+                                         table per replica, merged totals)
+  tdpipe-cli validate-trace --file PATH[,PATH...]
   tdpipe-cli sweep [--model ...] [--node ...] [--gpus N] [--requests N]
 
 Defaults: --model 13b --node l20 --gpus 4 --scheduler td --requests 1000
@@ -190,13 +210,21 @@ fn run_one(
     Ok(match scheduler {
         "td" => {
             let td_cfg = TdPipeConfig {
-                engine: cfg,
+                engine: EngineConfig {
+                    // The span/bubble metrics are derived from the
+                    // journal, so a metrics-recording run switches the
+                    // (pure-observer, schedule-neutral) recorders on too.
+                    record_trace: record_metrics,
+                    record_timeline: record_metrics,
+                    ..cfg
+                },
                 ..TdPipeConfig::default()
             };
             let out = TdPipeEngine::new(model.clone(), node, td_cfg)
                 .map_err(feasibility)?
                 .run_with_arrivals(trace, arrivals, predictor);
-            (out.report, out.metrics)
+            let metrics = merge_span_metrics(out.metrics, &[("engine", &out.journal)]);
+            (out.report, metrics)
         }
         "tp-sb" => {
             let out = TpSbEngine::new(model.clone(), node, cfg)
@@ -226,6 +254,64 @@ fn run_one(
     })
 }
 
+/// Fold the span/bubble analysis of one or more journals into a run's
+/// metrics snapshot (the `bubble_seconds` gate `metrics-diff` rides on).
+/// No-op when the journals are disabled — a run without the flight
+/// recorder has nothing to attribute.
+fn merge_span_metrics(
+    metrics: MetricsSnapshot,
+    journals: &[(&str, &FlightRecorder)],
+) -> MetricsSnapshot {
+    if metrics.is_empty() || journals.iter().all(|(_, j)| !j.is_enabled()) {
+        return metrics;
+    }
+    let labelled: Vec<(String, &FlightRecorder)> = journals
+        .iter()
+        .map(|(l, j)| (l.to_string(), *j))
+        .collect();
+    metrics.merged(span_metrics(&analyze(&labelled)))
+}
+
+/// Parse `--journal a,b,c` (+ optional `--labels x,y,z`) into labelled
+/// flight recorders. Labels default to `engine` for one journal and
+/// `r0..rN-1` for a fleet set (matching the `--journal-out PATH.rI`
+/// naming).
+fn load_journals(
+    paths_arg: &str,
+    labels_arg: Option<&str>,
+) -> Result<(Vec<String>, Vec<FlightRecorder>), String> {
+    let paths: Vec<&str> = paths_arg.split(',').filter(|s| !s.is_empty()).collect();
+    if paths.is_empty() {
+        return Err("--journal: need at least one path".into());
+    }
+    let labels: Vec<String> = match labels_arg {
+        Some(l) => {
+            let ls: Vec<String> = l
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect();
+            if ls.len() != paths.len() {
+                return Err(format!(
+                    "--labels: {} label(s) for {} journal(s)",
+                    ls.len(),
+                    paths.len()
+                ));
+            }
+            ls
+        }
+        None if paths.len() == 1 => vec!["engine".to_string()],
+        None => (0..paths.len()).map(|i| format!("r{i}")).collect(),
+    };
+    let mut recorders = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let json = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        recorders
+            .push(serde_json::from_str(&json).map_err(|e| format!("{p}: bad journal: {e}"))?);
+    }
+    Ok((labels, recorders))
+}
+
 /// `run --sessions N`: a closed-loop multi-turn session run on the
 /// TD-Pipe scheduler, with session-KV reuse controlled by `--reuse`.
 #[allow(clippy::too_many_arguments)]
@@ -239,15 +325,17 @@ fn run_sessions_cmd(
     predictor: &dyn OutputLenPredictor,
     record_metrics: bool,
     trace_out: Option<&str>,
+    journal_out: Option<&str>,
 ) -> Result<(RunReport, MetricsSnapshot), String> {
     let mut sc = SessionConfig::small(num_sessions, seed);
     sc.arrival = arrival;
     let sessions = sc.generate();
+    let record = record_metrics || trace_out.is_some() || journal_out.is_some();
     let cfg = TdPipeConfig {
         engine: EngineConfig {
             record_metrics,
-            record_trace: trace_out.is_some(),
-            record_timeline: trace_out.is_some(),
+            record_trace: record,
+            record_timeline: record,
             session_reuse: reuse,
             ..EngineConfig::default()
         },
@@ -271,7 +359,13 @@ fn run_sessions_cmd(
             out.timeline.segments().len()
         );
     }
-    Ok((out.report, out.metrics))
+    if let Some(path) = journal_out {
+        std::fs::write(path, out.journal.to_json())
+            .map_err(|e| format!("--journal-out {path}: {e}"))?;
+        println!("journal: {} event(s) -> {path}", out.journal.len());
+    }
+    let metrics = merge_span_metrics(out.metrics, &[("engine", &out.journal)]);
+    Ok((out.report, metrics))
 }
 
 /// A TD-Pipe run with the flight recorder (and, when `timeline` is set,
@@ -324,16 +418,20 @@ fn run_fleet_cmd(
     want_metrics: bool,
     reuse: bool,
     trace_out: Option<&str>,
+    journal_out: Option<&str>,
 ) -> Result<FleetOutcome, String> {
     let policy = RouterPolicy::parse(router)?;
+    let record = want_metrics || trace_out.is_some() || journal_out.is_some();
     let engine = EngineConfig {
         record_metrics: want_metrics,
-        record_trace: trace_out.is_some(),
-        record_timeline: trace_out.is_some(),
+        record_trace: record,
+        record_timeline: record,
         session_reuse: reuse,
         ..EngineConfig::default()
     };
-    let replicas: Vec<Replica> = parse_pool(pool_spec, gpus)?
+    let pool = parse_pool(pool_spec, gpus)?;
+    let labels: Vec<String> = pool.iter().map(|(label, _)| label.clone()).collect();
+    let replicas: Vec<Replica> = pool
         .into_iter()
         .map(|(label, node)| {
             Replica::new(ReplicaSpec::new(
@@ -356,7 +454,7 @@ fn run_fleet_cmd(
         },
         slo: SloSpec { ttft_s: slo_ttft },
     };
-    let outcome = run_fleet(&replicas, workload, &cfg, predictor);
+    let mut outcome = run_fleet(&replicas, workload, &cfg, predictor);
     if let Some(path) = trace_out {
         for (i, out) in outcome.outcomes.iter().enumerate() {
             let p = format!("{path}.r{i}");
@@ -369,6 +467,24 @@ fn run_fleet_cmd(
             outcome.outcomes.len() - 1
         );
     }
+    if let Some(path) = journal_out {
+        for (i, out) in outcome.outcomes.iter().enumerate() {
+            let p = format!("{path}.r{i}");
+            std::fs::write(&p, out.journal.to_json())
+                .map_err(|e| format!("--journal-out {p}: {e}"))?;
+        }
+        println!(
+            "journal: {} per-replica journals -> {path}.r0..r{}",
+            outcome.outcomes.len(),
+            outcome.outcomes.len() - 1
+        );
+    }
+    let journals: Vec<(&str, &FlightRecorder)> = labels
+        .iter()
+        .map(String::as_str)
+        .zip(outcome.outcomes.iter().map(|o| &o.journal))
+        .collect();
+    outcome.metrics = merge_span_metrics(outcome.metrics, &journals);
     Ok(outcome)
 }
 
@@ -469,6 +585,7 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
                 let router = args.get("router", "jsq");
                 let slo_ttft = args.f64("slo-ttft", 10.0)?;
                 let trace_out = args.opt("trace-out");
+                let journal_out = args.opt("journal-out");
                 let outcome = if let Some(ns) = args.opt("sessions") {
                     let num_sessions: usize = ns
                         .parse()
@@ -493,6 +610,7 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
                         want_metrics,
                         reuse,
                         trace_out,
+                        journal_out,
                     )?;
                     println!(
                         "sessions: {} sessions -> {} turns across {} replicas",
@@ -521,6 +639,7 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
                         want_metrics,
                         true,
                         trace_out,
+                        journal_out,
                     )?
                 };
                 let metrics = match &trained {
@@ -557,23 +676,33 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
                     predictor,
                     want_metrics,
                     args.opt("trace-out"),
+                    args.opt("journal-out"),
                 )?
-            } else if let Some(path) = args.opt("trace-out") {
+            } else if args.opt("trace-out").is_some() || args.opt("journal-out").is_some() {
                 if scheduler != "td" {
                     return Err(format!(
-                        "--trace-out only records the TD-Pipe scheduler (got --scheduler {scheduler})"
+                        "--trace-out/--journal-out only record the TD-Pipe scheduler \
+                         (got --scheduler {scheduler})"
                     ));
                 }
                 let out =
                     run_td_instrumented(&model, &node, &trace, predictor, true, want_metrics)?;
-                std::fs::write(path, chrome_trace(&out.timeline, &out.journal))
-                    .map_err(|e| format!("--trace-out {path}: {e}"))?;
-                println!(
-                    "trace: {} engine events + {} timeline segments -> {path}",
-                    out.journal.events().len(),
-                    out.timeline.segments().len()
-                );
-                (out.report, out.metrics)
+                if let Some(path) = args.opt("trace-out") {
+                    std::fs::write(path, chrome_trace(&out.timeline, &out.journal))
+                        .map_err(|e| format!("--trace-out {path}: {e}"))?;
+                    println!(
+                        "trace: {} engine events + {} timeline segments -> {path}",
+                        out.journal.events().len(),
+                        out.timeline.segments().len()
+                    );
+                }
+                if let Some(path) = args.opt("journal-out") {
+                    std::fs::write(path, out.journal.to_json())
+                        .map_err(|e| format!("--journal-out {path}: {e}"))?;
+                    println!("journal: {} event(s) -> {path}", out.journal.len());
+                }
+                let metrics = merge_span_metrics(out.metrics, &[("engine", &out.journal)]);
+                (out.report, metrics)
             } else {
                 let arrivals = match arrival {
                     ArrivalProcess::Offline => Vec::new(),
@@ -633,22 +762,117 @@ fn real_main(argv: &[String]) -> Result<ExitCode, String> {
             println!("{}", TraceStats::compute(&trace));
         }
         "trace-summary" => {
-            let trace = ShareGptLikeConfig::small(requests, seed).generate();
-            let out = run_td_traced(&model, &node, &trace, &OraclePredictor, false)?;
-            println!("{}", out.report);
-            print!("{}", decision_table(&out.journal));
+            if let Some(jarg) = args.opt("journal") {
+                // Fleet mode: one decision table per saved journal,
+                // labelled, plus merged totals across the set.
+                let (labels, recorders) = load_journals(jarg, args.opt("labels"))?;
+                for (label, r) in labels.iter().zip(&recorders) {
+                    println!("=== {label}: {} engine event(s) ===", r.events().len());
+                    print!("{}", decision_table(r));
+                }
+                let events: usize = recorders.iter().map(|r| r.events().len()).sum();
+                let stage: usize = recorders.iter().map(|r| r.stage_events().len()).sum();
+                println!(
+                    "merged: {events} engine + {stage} stage event(s) across {} journal(s)",
+                    recorders.len()
+                );
+            } else {
+                let trace = ShareGptLikeConfig::small(requests, seed).generate();
+                let out = run_td_traced(&model, &node, &trace, &OraclePredictor, false)?;
+                println!("{}", out.report);
+                print!("{}", decision_table(&out.journal));
+            }
         }
         "validate-trace" => {
-            let path = args
+            let files = args
                 .opt("file")
-                .ok_or("validate-trace needs --file PATH")?;
-            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let check =
-                validate_chrome_trace(&json).map_err(|e| format!("{path}: invalid trace: {e}"))?;
-            println!(
-                "{path}: ok — {} events ({} complete, {} instant) across {} tracks",
-                check.events, check.complete_events, check.instant_events, check.tracks
-            );
+                .ok_or("validate-trace needs --file PATH[,PATH...]")?;
+            let paths: Vec<&str> = files.split(',').filter(|s| !s.is_empty()).collect();
+            if paths.is_empty() {
+                return Err("validate-trace needs --file PATH[,PATH...]".into());
+            }
+            let (mut events, mut complete, mut instants, mut tracks) = (0, 0, 0, 0);
+            for path in &paths {
+                let json =
+                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let check = validate_chrome_trace(&json)
+                    .map_err(|e| format!("{path}: invalid trace: {e}"))?;
+                println!(
+                    "{path}: ok — {} events ({} complete, {} instant) across {} tracks",
+                    check.events, check.complete_events, check.instant_events, check.tracks
+                );
+                events += check.events;
+                complete += check.complete_events;
+                instants += check.instant_events;
+                tracks += check.tracks;
+            }
+            if paths.len() > 1 {
+                println!(
+                    "merged: {} trace(s) — {events} events ({complete} complete, \
+                     {instants} instant) across {tracks} tracks",
+                    paths.len()
+                );
+            }
+        }
+        "span-report" | "bubble-report" => {
+            let is_span = cmd == "span-report";
+            if let Some(path) = args.opt("check") {
+                let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                if is_span {
+                    let c =
+                        validate_span_report(&json).map_err(|e| format!("{path}: {e}"))?;
+                    println!(
+                        "{path}: ok — {} span(s) across {} replica(s), {} incomplete",
+                        c.spans, c.replicas, c.incomplete
+                    );
+                } else {
+                    let c =
+                        validate_bubble_report(&json).map_err(|e| format!("{path}: {e}"))?;
+                    println!(
+                        "{path}: ok — {} gap(s) on {} device(s) across {} replica(s)",
+                        c.gaps, c.devices, c.replicas
+                    );
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            let jarg = args
+                .opt("journal")
+                .ok_or_else(|| format!("{cmd} needs --journal PATH[,PATH...] or --check PATH"))?;
+            let (labels, recorders) = load_journals(jarg, args.opt("labels"))?;
+            let pairs: Vec<(String, &FlightRecorder)> =
+                labels.into_iter().zip(recorders.iter()).collect();
+            let analysis = analyze(&pairs);
+            if is_span {
+                print!("{}", span_table(&analysis));
+                if let Some(out_path) = args.opt("out") {
+                    let json = span_report_json(&analysis);
+                    // Self-check before writing: a report this CLI emits
+                    // must always pass its own validator.
+                    validate_span_report(&json)
+                        .map_err(|e| format!("generated span report failed validation: {e}"))?;
+                    std::fs::write(out_path, &json)
+                        .map_err(|e| format!("--out {out_path}: {e}"))?;
+                    println!("span report -> {out_path}");
+                }
+                if let Some(cpath) = args.opt("chrome-out") {
+                    let json = span_chrome_trace(&analysis);
+                    validate_chrome_trace(&json)
+                        .map_err(|e| format!("generated span trace failed validation: {e}"))?;
+                    std::fs::write(cpath, &json)
+                        .map_err(|e| format!("--chrome-out {cpath}: {e}"))?;
+                    println!("span chrome trace -> {cpath}");
+                }
+            } else {
+                print!("{}", bubble_table(&analysis));
+                if let Some(out_path) = args.opt("out") {
+                    let json = bubble_report_json(&analysis);
+                    validate_bubble_report(&json)
+                        .map_err(|e| format!("generated bubble report failed validation: {e}"))?;
+                    std::fs::write(out_path, &json)
+                        .map_err(|e| format!("--out {out_path}: {e}"))?;
+                    println!("bubble report -> {out_path}");
+                }
+            }
         }
         "sweep" => {
             let trace = ShareGptLikeConfig::small(requests, seed).generate();
@@ -846,6 +1070,7 @@ mod tests {
             true,
             true,
             None,
+            None,
         )
         .unwrap();
         assert_eq!(outcome.report.num_requests, trace.len());
@@ -868,6 +1093,7 @@ mod tests {
                 &OraclePredictor,
                 false,
                 true,
+                None,
                 None,
             )
             .unwrap_err()
@@ -892,7 +1118,7 @@ mod tests {
         let arrival = arrival_of("poisson", 4.0, 3).unwrap();
         let run = |reuse| {
             run_sessions_cmd(
-                16, arrival, reuse, 3, &model, &node, &OraclePredictor, true, None,
+                16, arrival, reuse, 3, &model, &node, &OraclePredictor, true, None, None,
             )
             .unwrap()
         };
@@ -902,5 +1128,133 @@ mod tests {
         assert_eq!(on.output_tokens, off.output_tokens);
         assert!(on.input_tokens <= off.input_tokens);
         assert!(m.scalar("session_reuse_hits_total").is_some());
+        // The span/bubble metrics ride along on every metrics-recording
+        // run now that the journal backs them.
+        assert!(m.scalar("bubble_seconds").is_some());
+        assert!(m.scalar("span_requests").is_some());
+    }
+
+    #[test]
+    fn journal_parsing_defaults_and_label_mismatch() {
+        // Count mismatch is a clean error before any file I/O.
+        let err = load_journals("a.json,b.json", Some("only-one")).unwrap_err();
+        assert!(err.contains("--labels"), "{err}");
+        let err = load_journals("", None).unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+        // Missing file surfaces with its path.
+        let err = load_journals("/nonexistent/x.journal.json", None).unwrap_err();
+        assert!(err.contains("/nonexistent/x.journal.json"), "{err}");
+    }
+
+    /// End-to-end: `run --journal-out` writes a journal that
+    /// `span-report`/`bubble-report` analyze, export, and re-validate —
+    /// and both written reports pass their `--check` mode.
+    #[test]
+    fn journal_out_feeds_span_and_bubble_reports() {
+        let dir = std::env::temp_dir().join("tdpipe-cli-span-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let j = dir.join("run.journal.json");
+        let jp = j.to_str().unwrap();
+        let code = real_main(&args(&format!(
+            "run --requests 24 --seed 3 --gpus 2 --journal-out {jp}"
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+
+        let spans_out = dir.join("spans.json");
+        let chrome_out = dir.join("spans.trace.json");
+        let code = real_main(&args(&format!(
+            "span-report --journal {jp} --out {} --chrome-out {}",
+            spans_out.display(),
+            chrome_out.display()
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        let code = real_main(&args(&format!(
+            "span-report --check {}",
+            spans_out.display()
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+
+        let bubbles_out = dir.join("bubbles.json");
+        let code = real_main(&args(&format!(
+            "bubble-report --journal {jp} --out {}",
+            bubbles_out.display()
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        let code = real_main(&args(&format!(
+            "bubble-report --check {}",
+            bubbles_out.display()
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+
+        // A merged two-journal invocation (same journal twice, labelled)
+        // exercises the fleet path of both reports.
+        let code = real_main(&args(&format!(
+            "bubble-report --journal {jp},{jp} --labels a,b"
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+
+        // Tampered report JSON must fail --check with a nonzero exit.
+        let json = std::fs::read_to_string(&spans_out).unwrap();
+        let bad = dir.join("tampered.json");
+        std::fs::write(&bad, json.replacen("\"ttft\":", "\"ttft\":1e9,\"x\":", 1)).unwrap();
+        let err = real_main(&args(&format!("span-report --check {}", bad.display())));
+        assert!(err.is_err(), "tampered span report must fail --check");
+
+        // `trace-summary --journal` renders per-label tables + a merged
+        // footer for the same saved journals.
+        let code = real_main(&args(&format!(
+            "trace-summary --journal {jp},{jp} --labels l20-0,l20-1"
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    /// The span-report subcommand without inputs is a usage error, and a
+    /// missing journal file surfaces cleanly.
+    #[test]
+    fn report_subcommands_validate_their_flags() {
+        let err = real_main(&args("span-report")).unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+        let err = real_main(&args("bubble-report")).unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+        let err = real_main(&args("span-report --journal /nonexistent/j.json")).unwrap_err();
+        assert!(err.contains("/nonexistent/j.json"), "{err}");
+        let err = real_main(&args(
+            "run --requests 8 --scheduler tp-sb --journal-out /tmp/x.json",
+        ))
+        .unwrap_err();
+        assert!(err.contains("TD-Pipe scheduler"), "{err}");
+    }
+
+    /// Multi-file validate-trace: every per-replica fleet trace validates
+    /// individually and the merged totals line appears.
+    #[test]
+    fn fleet_traces_validate_as_a_set() {
+        let dir = std::env::temp_dir().join("tdpipe-cli-fleet-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("fleet.trace.json");
+        let bp = base.to_str().unwrap();
+        let code = real_main(&args(&format!(
+            "run --requests 24 --seed 3 --gpus 2 --replicas 2 --trace-out {bp} --journal-out {bp}.j"
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        let code = real_main(&args(&format!(
+            "validate-trace --file {bp}.r0,{bp}.r1"
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+        // And the per-replica journals feed a merged span report.
+        let code = real_main(&args(&format!(
+            "span-report --journal {bp}.j.r0,{bp}.j.r1"
+        )))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
     }
 }

@@ -18,6 +18,7 @@
 //! * [`baselines`] — TP+SB, TP+HB, PP+SB, PP+HB reference schedulers
 //! * [`offload`] — KV-offloading engine + PCIe contention model (§2.2.2)
 //! * [`trace`] — scheduling flight recorder + Chrome-trace export
+//! * [`spans`] — per-request spans, bubble attribution, critical path
 //! * [`fleet`] — deterministic request/session routing across replicas
 
 #![forbid(unsafe_code)]
@@ -33,5 +34,6 @@ pub use tdpipe_offload as offload;
 pub use tdpipe_predictor as predictor;
 pub use tdpipe_runtime as runtime;
 pub use tdpipe_sim as sim;
+pub use tdpipe_spans as spans;
 pub use tdpipe_trace as trace;
 pub use tdpipe_workload as workload;

@@ -527,6 +527,12 @@ fn determinism_rule_set_covers_every_report_feeding_crate() {
          thread counts — the router and aggregation must stay under the \
          determinism set"
     );
+    assert!(
+        covered.contains(&"crates/spans/src"),
+        "span/bubble reports are byte-compared across thread counts and \
+         validated bit-exactly — the causal-analysis layer must stay \
+         under the determinism set"
+    );
 
     // Exempt: `runtime` really runs threads and timeouts (wall-clock use
     // is its job; its safety rules live in the panic-safety set), and

@@ -337,11 +337,30 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: no UTF-8 validation needed.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
-                    let c = rest.chars().next().unwrap();
+                    // Consume one multi-byte UTF-8 code point. Validate at
+                    // most 4 bytes — validating the whole remaining input
+                    // per character would make parsing quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(chunk) {
+                        Ok(s) => s.chars().next().unwrap(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .unwrap()
+                                .chars()
+                                .next()
+                                .unwrap()
+                        }
+                        Err(_) => {
+                            return self.err("invalid UTF-8 in string");
+                        }
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -436,5 +455,36 @@ mod tests {
         let s = to_string(&x).unwrap();
         let back: u64 = from_str(&s).unwrap();
         assert_eq!(x, back);
+    }
+
+    #[test]
+    fn multibyte_utf8_round_trips() {
+        // The multi-byte path validates at most 4 bytes per code point;
+        // exercise 2-, 3-, and 4-byte sequences, including one as the
+        // final character (the lookahead window is clipped at EOF).
+        let v = vec!["é".to_string(), "中文 ok".to_string(), "🚀".to_string()];
+        let back: Vec<String> = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+        assert!(from_str::<String>("\"\u{80}").is_err()); // unterminated
+        // Truncated multi-byte sequence is rejected, not panicked on.
+        assert!(from_str::<String>(std::str::from_utf8(b"\"ab").unwrap()).is_err());
+    }
+
+    #[test]
+    fn string_parsing_is_linear_not_quadratic() {
+        // A ~1 MB document of string data must parse near-instantly; the
+        // old per-character whole-remainder UTF-8 validation made this
+        // take minutes.
+        let v: Vec<String> = (0..16_384).map(|i| format!("request-{i}-αβγ")).collect();
+        let s = to_string(&v).unwrap();
+        let t0 = std::time::Instant::now();
+        let back: Vec<String> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "parsing {} bytes took {:?}",
+            s.len(),
+            t0.elapsed()
+        );
     }
 }
